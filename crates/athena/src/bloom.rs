@@ -1,0 +1,294 @@
+//! Bloom filters and the epoch-scoped trackers Athena builds from them (§5.2 of the paper).
+//!
+//! Athena measures prefetcher accuracy and prefetch-induced cache pollution with small Bloom
+//! filters that are reset at the end of every epoch: 4096 bits and two hash functions each,
+//! sized so that three standard deviations above the mean number of insertions per epoch
+//! still yields a ~1% false-positive rate (Table 4).
+
+/// A fixed-size Bloom filter with `k` independent hash functions.
+///
+/// The filter never produces false negatives; false positives occur with a probability that
+/// grows with occupancy.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: usize,
+    num_hashes: u32,
+    insertions: u64,
+}
+
+impl BloomFilter {
+    /// Creates a filter with `num_bits` bits and `num_hashes` hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_bits` is zero or `num_hashes` is zero.
+    pub fn new(num_bits: usize, num_hashes: u32) -> Self {
+        assert!(num_bits > 0, "a Bloom filter needs at least one bit");
+        assert!(num_hashes > 0, "a Bloom filter needs at least one hash");
+        Self {
+            bits: vec![0; num_bits.div_ceil(64)],
+            num_bits,
+            num_hashes,
+            insertions: 0,
+        }
+    }
+
+    /// The 4096-bit, 2-hash configuration used by Athena's trackers (Table 4).
+    pub fn athena_sized() -> Self {
+        Self::new(4096, 2)
+    }
+
+    fn bit_positions(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
+        // Double hashing: h_i(x) = h1(x) + i * h2(x).
+        let h1 = key
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_left(31)
+            .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        let h2 = key.wrapping_mul(0xc2b2_ae3d_27d4_eb4f).rotate_left(17) | 1;
+        (0..self.num_hashes).map(move |i| {
+            (h1.wrapping_add(h2.wrapping_mul(u64::from(i))) % self.num_bits as u64) as usize
+        })
+    }
+
+    /// Inserts `key` into the filter.
+    pub fn insert(&mut self, key: u64) {
+        let positions: Vec<usize> = self.bit_positions(key).collect();
+        for pos in positions {
+            self.bits[pos / 64] |= 1 << (pos % 64);
+        }
+        self.insertions += 1;
+    }
+
+    /// Returns `true` if `key` may have been inserted (no false negatives).
+    pub fn contains(&self, key: u64) -> bool {
+        self.bit_positions(key)
+            .all(|pos| self.bits[pos / 64] & (1 << (pos % 64)) != 0)
+    }
+
+    /// Clears the filter (epoch reset).
+    pub fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|w| *w = 0);
+        self.insertions = 0;
+    }
+
+    /// Number of insertions since the last clear.
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Storage size of the filter in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.num_bits / 8
+    }
+}
+
+/// Tracks prefetcher accuracy within an epoch using a Bloom filter (§5.2.1).
+///
+/// Every issued prefetch address is inserted; every demand access queries the filter. The
+/// accuracy estimate is the number of demand hits in the filter divided by the number of
+/// issued prefetches.
+#[derive(Debug, Clone)]
+pub struct AccuracyTracker {
+    filter: BloomFilter,
+    prefetches: u64,
+    demand_hits: u64,
+}
+
+impl AccuracyTracker {
+    /// Creates a tracker with Athena's 4096-bit filter.
+    pub fn new() -> Self {
+        Self {
+            filter: BloomFilter::athena_sized(),
+            prefetches: 0,
+            demand_hits: 0,
+        }
+    }
+
+    /// Records an issued prefetch for `line_addr`.
+    pub fn on_prefetch(&mut self, line_addr: u64) {
+        self.filter.insert(line_addr);
+        self.prefetches += 1;
+    }
+
+    /// Records a demand access to `line_addr`.
+    pub fn on_demand(&mut self, line_addr: u64) {
+        if self.filter.contains(line_addr) {
+            self.demand_hits += 1;
+        }
+    }
+
+    /// The accuracy estimate for the current epoch.
+    pub fn accuracy(&self) -> f64 {
+        if self.prefetches == 0 {
+            0.0
+        } else {
+            (self.demand_hits as f64 / self.prefetches as f64).min(1.0)
+        }
+    }
+
+    /// Resets the tracker at an epoch boundary.
+    pub fn reset(&mut self) {
+        self.filter.clear();
+        self.prefetches = 0;
+        self.demand_hits = 0;
+    }
+}
+
+impl Default for AccuracyTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Tracks prefetch-induced LLC pollution within an epoch using a Bloom filter (§5.2.3).
+///
+/// Addresses evicted by prefetch fills are inserted; subsequent LLC misses that hit the
+/// filter count as pollution.
+#[derive(Debug, Clone)]
+pub struct PollutionTracker {
+    filter: BloomFilter,
+    pollution_misses: u64,
+    total_misses: u64,
+}
+
+impl PollutionTracker {
+    /// Creates a tracker with Athena's 4096-bit filter.
+    pub fn new() -> Self {
+        Self {
+            filter: BloomFilter::athena_sized(),
+            pollution_misses: 0,
+            total_misses: 0,
+        }
+    }
+
+    /// Records that `line_addr` was evicted from the LLC by a prefetch fill.
+    pub fn on_prefetch_eviction(&mut self, line_addr: u64) {
+        self.filter.insert(line_addr);
+    }
+
+    /// Records an LLC demand miss for `line_addr`.
+    pub fn on_llc_miss(&mut self, line_addr: u64) {
+        self.total_misses += 1;
+        if self.filter.contains(line_addr) {
+            self.pollution_misses += 1;
+        }
+    }
+
+    /// Fraction of demand misses attributable to prefetch-induced evictions.
+    pub fn pollution(&self) -> f64 {
+        if self.total_misses == 0 {
+            0.0
+        } else {
+            self.pollution_misses as f64 / self.total_misses as f64
+        }
+    }
+
+    /// Resets the tracker at an epoch boundary.
+    pub fn reset(&mut self) {
+        self.filter.clear();
+        self.pollution_misses = 0;
+        self.total_misses = 0;
+    }
+}
+
+impl Default for PollutionTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::athena_sized();
+        for i in 0..200u64 {
+            f.insert(i * 64 + 0x1000);
+        }
+        for i in 0..200u64 {
+            assert!(f.contains(i * 64 + 0x1000));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low_at_paper_sizing() {
+        // The paper sizes 4096 bits for ~199 insertions at three standard deviations, giving
+        // roughly a 1% false-positive rate.
+        let mut f = BloomFilter::athena_sized();
+        for i in 0..199u64 {
+            f.insert(i.wrapping_mul(0x1234_5677) ^ 0xabcd);
+        }
+        let mut false_positives = 0;
+        let probes = 10_000;
+        for i in 0..probes {
+            let key = 0xdead_0000_0000u64 + i * 7919;
+            if f.contains(key) {
+                false_positives += 1;
+            }
+        }
+        let rate = false_positives as f64 / probes as f64;
+        assert!(rate < 0.03, "false positive rate too high: {rate}");
+    }
+
+    #[test]
+    fn clear_empties_the_filter() {
+        let mut f = BloomFilter::new(256, 2);
+        f.insert(42);
+        assert!(f.contains(42));
+        f.clear();
+        assert!(!f.contains(42));
+        assert_eq!(f.insertions(), 0);
+    }
+
+    #[test]
+    fn storage_matches_table4() {
+        assert_eq!(BloomFilter::athena_sized().storage_bytes(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_bits_is_rejected() {
+        let _ = BloomFilter::new(0, 2);
+    }
+
+    #[test]
+    fn accuracy_tracker_measures_useful_fraction() {
+        let mut t = AccuracyTracker::new();
+        for i in 0..100u64 {
+            t.on_prefetch(0x1000 + i * 64);
+        }
+        // 60 of the 100 prefetched lines are demanded.
+        for i in 0..60u64 {
+            t.on_demand(0x1000 + i * 64);
+        }
+        // Plus demands to lines that were never prefetched.
+        for i in 0..40u64 {
+            t.on_demand(0x90_0000 + i * 64);
+        }
+        let acc = t.accuracy();
+        assert!((0.55..=0.7).contains(&acc), "accuracy estimate off: {acc}");
+        t.reset();
+        assert_eq!(t.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn pollution_tracker_measures_polluted_fraction() {
+        let mut t = PollutionTracker::new();
+        for i in 0..50u64 {
+            t.on_prefetch_eviction(0x2000 + i * 64);
+        }
+        for i in 0..25u64 {
+            t.on_llc_miss(0x2000 + i * 64); // polluted
+        }
+        for i in 0..75u64 {
+            t.on_llc_miss(0x800_0000 + i * 64); // unrelated
+        }
+        let p = t.pollution();
+        assert!((0.2..=0.35).contains(&p), "pollution estimate off: {p}");
+        t.reset();
+        assert_eq!(t.pollution(), 0.0);
+    }
+}

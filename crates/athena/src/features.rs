@@ -1,0 +1,192 @@
+//! State features (Table 1 of the paper) and their quantisation into the state vector used
+//! to index the QVStore.
+
+use athena_sim::EpochStats;
+
+/// Number of quantisation levels per feature (3 bits).
+pub const LEVELS_PER_FEATURE: u32 = 8;
+
+/// The candidate system-level features of Table 1.
+///
+/// The paper's design-space exploration selects the first four; the remaining three are kept
+/// available for sensitivity studies and the feature-selection experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Feature {
+    /// Demand hits on prefetched lines over issued prefetches.
+    PrefetcherAccuracy,
+    /// Correct off-chip predictions over issued off-chip predictions.
+    OcpAccuracy,
+    /// Used main-memory bandwidth over peak bandwidth.
+    BandwidthUsage,
+    /// Prefetch-evicted demand misses over total demand misses.
+    CachePollution,
+    /// Prefetch requests to DRAM over total DRAM requests.
+    PrefetchBandwidthShare,
+    /// OCP requests to DRAM over total DRAM requests.
+    OcpBandwidthShare,
+    /// Demand requests to DRAM over total DRAM requests.
+    DemandBandwidthShare,
+}
+
+impl Feature {
+    /// All seven candidate features, in Table 1's order.
+    pub fn all_candidates() -> &'static [Feature] {
+        &[
+            Feature::PrefetcherAccuracy,
+            Feature::OcpAccuracy,
+            Feature::BandwidthUsage,
+            Feature::CachePollution,
+            Feature::PrefetchBandwidthShare,
+            Feature::OcpBandwidthShare,
+            Feature::DemandBandwidthShare,
+        ]
+    }
+
+    /// Extracts this feature's raw value (in `[0, 1]`) from an epoch's telemetry.
+    pub fn value(&self, stats: &EpochStats) -> f64 {
+        match self {
+            Feature::PrefetcherAccuracy => stats.prefetcher_accuracy(),
+            Feature::OcpAccuracy => stats.ocp_accuracy(),
+            Feature::BandwidthUsage => stats.bandwidth_usage(),
+            Feature::CachePollution => stats.cache_pollution(),
+            Feature::PrefetchBandwidthShare => stats.prefetch_bandwidth_share(),
+            Feature::OcpBandwidthShare => stats.ocp_bandwidth_share(),
+            Feature::DemandBandwidthShare => stats.demand_bandwidth_share(),
+        }
+    }
+
+    /// Quantises this feature's value into one of [`LEVELS_PER_FEATURE`] levels.
+    pub fn quantise(&self, stats: &EpochStats) -> u32 {
+        let v = self.value(stats).clamp(0.0, 1.0);
+        ((v * f64::from(LEVELS_PER_FEATURE)) as u32).min(LEVELS_PER_FEATURE - 1)
+    }
+
+    /// Short display name used in reports.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Feature::PrefetcherAccuracy => "PA",
+            Feature::OcpAccuracy => "OA",
+            Feature::BandwidthUsage => "BW",
+            Feature::CachePollution => "CP",
+            Feature::PrefetchBandwidthShare => "PBW",
+            Feature::OcpBandwidthShare => "OBW",
+            Feature::DemandBandwidthShare => "DBW",
+        }
+    }
+}
+
+/// A quantised state vector: the concatenation of the selected features' quantised values
+/// (§5.1, "concatenate (32-bit)" in Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FeatureVector {
+    packed: u32,
+    num_features: u32,
+}
+
+impl FeatureVector {
+    /// Builds the state vector for one epoch from the selected features.
+    pub fn from_stats(features: &[Feature], stats: &EpochStats) -> Self {
+        let mut packed = 0u32;
+        for f in features {
+            packed = (packed << 3) | f.quantise(stats);
+        }
+        Self {
+            packed,
+            num_features: features.len() as u32,
+        }
+    }
+
+    /// The packed 32-bit representation of the state vector.
+    pub fn packed(&self) -> u32 {
+        self.packed
+    }
+
+    /// Number of features encoded in this vector.
+    pub fn num_features(&self) -> u32 {
+        self.num_features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> EpochStats {
+        EpochStats {
+            instructions: 2048,
+            cycles: 4096,
+            prefetches_issued: 100,
+            prefetches_useful: 75,
+            ocp_predictions: 50,
+            ocp_correct: 45,
+            dram_busy_cycles: 1024,
+            llc_misses: 40,
+            pollution_misses: 10,
+            dram_demand_requests: 40,
+            dram_prefetch_requests: 50,
+            dram_ocp_requests: 10,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn feature_values_follow_table1() {
+        let s = stats();
+        assert!((Feature::PrefetcherAccuracy.value(&s) - 0.75).abs() < 1e-12);
+        assert!((Feature::OcpAccuracy.value(&s) - 0.9).abs() < 1e-12);
+        assert!((Feature::BandwidthUsage.value(&s) - 0.25).abs() < 1e-12);
+        assert!((Feature::CachePollution.value(&s) - 0.25).abs() < 1e-12);
+        assert!((Feature::PrefetchBandwidthShare.value(&s) - 0.5).abs() < 1e-12);
+        assert!((Feature::OcpBandwidthShare.value(&s) - 0.1).abs() < 1e-12);
+        assert!((Feature::DemandBandwidthShare.value(&s) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantisation_is_bounded_and_monotone() {
+        let mut s = EpochStats::default();
+        s.prefetches_issued = 100;
+        let mut last = 0;
+        for useful in (0..=100).step_by(10) {
+            s.prefetches_useful = useful;
+            let q = Feature::PrefetcherAccuracy.quantise(&s);
+            assert!(q < LEVELS_PER_FEATURE);
+            assert!(q >= last);
+            last = q;
+        }
+        assert_eq!(last, LEVELS_PER_FEATURE - 1);
+    }
+
+    #[test]
+    fn vector_packs_features_in_order() {
+        let s = stats();
+        let v = FeatureVector::from_stats(
+            &[Feature::PrefetcherAccuracy, Feature::OcpAccuracy],
+            &s,
+        );
+        let pa = Feature::PrefetcherAccuracy.quantise(&s);
+        let oa = Feature::OcpAccuracy.quantise(&s);
+        assert_eq!(v.packed(), (pa << 3) | oa);
+        assert_eq!(v.num_features(), 2);
+    }
+
+    #[test]
+    fn different_states_usually_differ() {
+        let a = FeatureVector::from_stats(&[Feature::BandwidthUsage], &stats());
+        let mut s2 = stats();
+        s2.dram_busy_cycles = 4000;
+        let b = FeatureVector::from_stats(&[Feature::BandwidthUsage], &s2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_feature_set_gives_a_single_state() {
+        let v = FeatureVector::from_stats(&[], &stats());
+        assert_eq!(v.packed(), 0);
+        assert_eq!(v.num_features(), 0);
+    }
+
+    #[test]
+    fn all_candidates_lists_seven() {
+        assert_eq!(Feature::all_candidates().len(), 7);
+    }
+}

@@ -1,0 +1,166 @@
+//! The composite reward framework (§4.3, Table 2).
+//!
+//! The reward at epoch `t` is `R_t = R_corr_t − R_uncorr_t`, where the correlated component
+//! aggregates metrics directly influenced by Athena's actions (cycles, LLC misses, LLC miss
+//! latency) and the uncorrelated component aggregates metrics driven by inherent workload
+//! behaviour (load count, mispredicted branches). Each component is a weighted sum of the
+//! *changes* of its constituent metrics between consecutive epochs. Subtracting the
+//! uncorrelated component isolates the part of the performance change that is causally
+//! attributable to the coordination action from the part caused by a workload phase change.
+
+use athena_sim::EpochStats;
+
+use crate::config::RewardWeights;
+
+/// Computes the composite reward from consecutive epochs' telemetry.
+#[derive(Debug, Clone)]
+pub struct CompositeReward {
+    weights: RewardWeights,
+    use_uncorrelated: bool,
+}
+
+impl CompositeReward {
+    /// Creates a reward calculator.
+    pub fn new(weights: RewardWeights, use_uncorrelated: bool) -> Self {
+        Self {
+            weights,
+            use_uncorrelated,
+        }
+    }
+
+    /// Normalises a per-epoch count to a per-instruction rate so that partial epochs and
+    /// different epoch lengths compare meaningfully.
+    fn per_instr(value: u64, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            value as f64 / instructions as f64
+        }
+    }
+
+    /// The correlated reward component `R_corr_t` (Equation 3): improvements (reductions) in
+    /// cycles, LLC misses and LLC miss latency between the previous and current epoch,
+    /// weighted by Table 2's λ values. Positive means the system got faster.
+    pub fn correlated(&self, prev: &EpochStats, current: &EpochStats) -> f64 {
+        let d_cycles = Self::per_instr(prev.cycles, prev.instructions)
+            - Self::per_instr(current.cycles, current.instructions);
+        let d_llc_misses = Self::per_instr(prev.llc_misses, prev.instructions)
+            - Self::per_instr(current.llc_misses, current.instructions);
+        let d_llc_latency =
+            (prev.avg_llc_miss_latency() - current.avg_llc_miss_latency()) / 100.0;
+        self.weights.lambda_cycle * d_cycles
+            + self.weights.lambda_llc_misses * d_llc_misses
+            + self.weights.lambda_llc_miss_latency * d_llc_latency
+    }
+
+    /// The uncorrelated reward component `R_uncorr_t` (Equation 4): changes in load count
+    /// and mispredicted branches, which track workload phase behaviour rather than the
+    /// agent's actions. Positive means the workload got inherently lighter.
+    pub fn uncorrelated(&self, prev: &EpochStats, current: &EpochStats) -> f64 {
+        let d_loads = Self::per_instr(prev.loads, prev.instructions)
+            - Self::per_instr(current.loads, current.instructions);
+        let d_mispredicts = Self::per_instr(prev.branch_mispredicts, prev.instructions)
+            - Self::per_instr(current.branch_mispredicts, current.instructions);
+        self.weights.lambda_loads * d_loads
+            + self.weights.lambda_mispredicted_branches * d_mispredicts
+    }
+
+    /// The overall reward `R_t = R_corr_t − R_uncorr_t` (Equation 2). When the uncorrelated
+    /// component is disabled (ablation / prior-work-style reward) only the correlated part
+    /// is returned.
+    pub fn reward(&self, prev: &EpochStats, current: &EpochStats) -> f64 {
+        let corr = self.correlated(prev, current);
+        if self.use_uncorrelated {
+            corr - self.uncorrelated(prev, current)
+        } else {
+            corr
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epoch(cycles: u64, loads: u64, mispredicts: u64) -> EpochStats {
+        EpochStats {
+            instructions: 2048,
+            cycles,
+            loads,
+            branch_mispredicts: mispredicts,
+            ..Default::default()
+        }
+    }
+
+    fn reward() -> CompositeReward {
+        CompositeReward::new(RewardWeights::default(), true)
+    }
+
+    #[test]
+    fn fewer_cycles_is_positive_reward() {
+        let r = reward();
+        let prev = epoch(8000, 500, 20);
+        let cur = epoch(6000, 500, 20);
+        assert!(r.reward(&prev, &cur) > 0.0);
+        assert!(r.correlated(&prev, &cur) > 0.0);
+        assert_eq!(r.uncorrelated(&prev, &cur), 0.0);
+    }
+
+    #[test]
+    fn more_cycles_is_negative_reward() {
+        let r = reward();
+        let prev = epoch(6000, 500, 20);
+        let cur = epoch(9000, 500, 20);
+        assert!(r.reward(&prev, &cur) < 0.0);
+    }
+
+    #[test]
+    fn phase_change_is_discounted_by_the_uncorrelated_component() {
+        let r = reward();
+        // Cycles grew, but so did the load count and branch mispredictions — i.e. the
+        // workload entered a heavier phase. The composite reward should blame the agent
+        // less than a cycles-only reward would.
+        let prev = epoch(6000, 400, 10);
+        let cur = epoch(9000, 800, 60);
+        let composite = r.reward(&prev, &cur);
+        let cycles_only = CompositeReward::new(RewardWeights::default(), false).reward(&prev, &cur);
+        assert!(composite > cycles_only);
+        assert!(r.uncorrelated(&prev, &cur) < 0.0);
+    }
+
+    #[test]
+    fn pure_action_effect_is_not_discounted() {
+        let r = reward();
+        // Cycles dropped while the workload's inherent behaviour stayed identical: the whole
+        // improvement is credited to the action.
+        let prev = epoch(9000, 600, 30);
+        let cur = epoch(6500, 600, 30);
+        assert!((r.reward(&prev, &cur) - r.correlated(&prev, &cur)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_instruction_epochs_are_harmless() {
+        let r = reward();
+        let empty = EpochStats::default();
+        assert_eq!(r.reward(&empty, &empty), 0.0);
+    }
+
+    #[test]
+    fn llc_metrics_contribute_when_weighted() {
+        let weights = RewardWeights {
+            lambda_cycle: 0.0,
+            lambda_llc_misses: 1.0,
+            lambda_llc_miss_latency: 1.0,
+            lambda_loads: 0.0,
+            lambda_mispredicted_branches: 0.0,
+        };
+        let r = CompositeReward::new(weights, true);
+        let mut prev = epoch(8000, 500, 20);
+        prev.llc_misses = 100;
+        prev.llc_miss_latency_sum = 30_000;
+        let mut cur = epoch(8000, 500, 20);
+        cur.llc_misses = 50;
+        cur.llc_miss_latency_sum = 10_000;
+        assert!(r.reward(&prev, &cur) > 0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! One Criterion benchmark per paper figure/table: each runs the corresponding harness
+//! experiment at reduced scale (see `athena_bench::bench_options`).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use athena_bench::bench_options;
+use athena_harness::experiments::{experiment_names, run_experiment};
+
+fn figure_benches(c: &mut Criterion) {
+    let opts = bench_options();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for name in experiment_names() {
+        // The multi-core figures are benchmarked separately below with an even smaller
+        // configuration, because even reduced mixes are an order of magnitude slower.
+        if name == "fig15" || name == "fig16" {
+            continue;
+        }
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let table = run_experiment(name, opts).expect("known experiment");
+                std::hint::black_box(table.rows.len())
+            })
+        });
+    }
+    group.finish();
+
+    let mut multicore = c.benchmark_group("figures-multicore");
+    multicore.sample_size(10);
+    multicore.warm_up_time(Duration::from_millis(500));
+    multicore.measurement_time(Duration::from_secs(3));
+    let tiny = athena_harness::RunOptions {
+        instructions: 10_000,
+        workload_limit: Some(3),
+    };
+    for name in ["fig15", "fig16"] {
+        multicore.bench_function(name, |b| {
+            b.iter(|| {
+                let table = run_experiment(name, tiny).expect("known experiment");
+                std::hint::black_box(table.rows.len())
+            })
+        });
+    }
+    multicore.finish();
+}
+
+criterion_group!(benches, figure_benches);
+criterion_main!(benches);

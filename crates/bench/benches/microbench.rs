@@ -1,0 +1,137 @@
+//! Microbenchmarks of the simulator and agent primitives on the hot path.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use athena_core::{BloomFilter, QvStore};
+use athena_harness::{simulate, CoordinatorKind, OcpKind, PrefetcherKind, SystemConfig};
+use athena_sim::{Cache, CacheConfig, CacheLevel, Dram, DramRequestKind, Replacement, SimConfig};
+use athena_workloads::all_workloads;
+
+fn cache_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(1));
+    let config = CacheConfig {
+        name: "bench",
+        size_bytes: 48 * 1024,
+        ways: 12,
+        latency: 5,
+        mshrs: 16,
+        replacement: Replacement::Lru,
+    };
+    group.bench_function("lookup_and_fill", |b| {
+        let mut cache = Cache::new(config, CacheLevel::L1d);
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(4096) & 0xff_ffff;
+            if !cache.lookup(addr, 0x400).is_hit() {
+                cache.fill(addr, false, 0x400, 0);
+            }
+            std::hint::black_box(cache.occupancy() > 0)
+        })
+    });
+    group.finish();
+}
+
+fn dram_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("access", |b| {
+        let mut dram = Dram::new(&SimConfig::golden_cove_like());
+        let mut cycle = 0u64;
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64 * 37) & 0xfff_ffff;
+            cycle += 10;
+            std::hint::black_box(dram.access(addr, cycle, DramRequestKind::Demand))
+        })
+    });
+    group.finish();
+}
+
+fn qvstore_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qvstore");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("sarsa_update", |b| {
+        let mut store = QvStore::athena_sized();
+        let mut state = 0u32;
+        b.iter(|| {
+            state = state.wrapping_add(0x9e37);
+            store.sarsa_update(state, (state % 4) as usize, 0.25, state ^ 0x5555, 1, 0.6, 0.6);
+            std::hint::black_box(store.updates())
+        })
+    });
+    group.bench_function("q_value_read", |b| {
+        let store = QvStore::athena_sized();
+        let mut state = 0u32;
+        b.iter(|| {
+            state = state.wrapping_add(77);
+            std::hint::black_box(store.q_value(state, (state % 4) as usize))
+        })
+    });
+    group.finish();
+}
+
+fn bloom_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("insert_and_query", |b| {
+        let mut filter = BloomFilter::athena_sized();
+        let mut key = 0u64;
+        b.iter(|| {
+            key = key.wrapping_add(0x9e37_79b9);
+            filter.insert(key);
+            std::hint::black_box(filter.contains(key ^ 1))
+        })
+    });
+    group.finish();
+}
+
+fn trace_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace");
+    group.throughput(Throughput::Elements(1000));
+    let spec = all_workloads()
+        .into_iter()
+        .find(|w| w.name == "429.mcf-184B")
+        .unwrap();
+    group.bench_function("generate_1k_instructions", |b| {
+        b.iter(|| {
+            let count = spec.trace().take(1000).count();
+            std::hint::black_box(count)
+        })
+    });
+    group.finish();
+}
+
+fn simulation_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.throughput(Throughput::Elements(20_000));
+    let specs = all_workloads();
+    let friendly = specs.iter().find(|w| w.name == "462.libquantum-714B").unwrap();
+    let adverse = specs.iter().find(|w| w.name == "483.xalancbmk-127B").unwrap();
+    let config = SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet);
+    for (label, spec) in [("friendly_20k", friendly), ("adverse_20k", adverse)] {
+        group.bench_function(format!("athena_cd1_{label}"), |b| {
+            b.iter(|| {
+                let run = simulate(spec, &config, CoordinatorKind::Athena, 20_000);
+                std::hint::black_box(run.cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    cache_bench,
+    dram_bench,
+    qvstore_bench,
+    bloom_bench,
+    trace_bench,
+    simulation_bench
+);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! # athena-bench
+//!
+//! Criterion benchmarks for the Athena reproduction.
+//!
+//! Two benchmark suites are provided:
+//!
+//! * `figures` — one benchmark per paper figure/table, running the corresponding harness
+//!   experiment at reduced scale (a handful of workloads, tens of thousands of instructions)
+//!   so the entire suite completes in minutes. The benchmark's *output table* is printed the
+//!   first time each experiment runs; the benchmark's *timing* tracks how expensive that
+//!   experiment is, which is useful for catching simulator performance regressions.
+//! * `microbench` — microbenchmarks of the performance-critical primitives: cache lookups,
+//!   DRAM accesses, QVStore SARSA updates, Bloom filter operations, trace generation and a
+//!   whole single-core simulation step.
+//!
+//! Run with `cargo bench -p athena-bench` (or `cargo bench --workspace`).
+
+/// The reduced run options shared by the figure benchmarks.
+pub fn bench_options() -> athena_harness::RunOptions {
+    athena_harness::RunOptions {
+        instructions: 12_000,
+        workload_limit: Some(4),
+    }
+}

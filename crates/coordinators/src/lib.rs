@@ -1,0 +1,30 @@
+//! # athena-coordinators
+//!
+//! The prior prefetcher/OCP coordination policies that the Athena paper compares against,
+//! all implementing [`athena_sim::Coordinator`]:
+//!
+//! * [`NaiveAll`] — everything enabled, always, at full aggressiveness (the "Naive"
+//!   combination of §2.1.2).
+//! * [`FixedCombo`] — an arbitrary static combination of mechanisms. Used by the harness to
+//!   realise the per-workload *StaticBest* oracle, the single-mechanism baselines
+//!   (POPET-only, Pythia-only) and the case-study static points.
+//! * [`Hpac`] — Hierarchical Prefetcher Aggressiveness Control (Ebrahimi et al., MICRO
+//!   2009), adapted to also gate the OCP, as in the paper's methodology (§6.2.2).
+//! * [`Mab`] — the Micro-Armed Bandit controller (Gerogiannis & Torrellas, MICRO 2023),
+//!   a discounted-UCB bandit over enable combinations, adapted to include the OCP
+//!   (§6.2.3).
+//! * [`Tlp`] — the Two-Level Perceptron approach (Jamet et al., HPCA 2024): off-chip
+//!   prediction used as a hint to filter L1D prefetch requests (§6.2.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fixed;
+mod hpac;
+mod mab;
+mod tlp;
+
+pub use fixed::{FixedCombo, NaiveAll};
+pub use hpac::Hpac;
+pub use mab::Mab;
+pub use tlp::Tlp;

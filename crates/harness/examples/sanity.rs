@@ -1,0 +1,52 @@
+//! Calibration sanity check: verifies the headline dynamics of the paper on a few
+//! workloads. Not part of the shipped examples; used during development.
+
+use athena_harness::{simulate, CoordinatorKind, OcpKind, PrefetcherKind, SystemConfig};
+use athena_workloads::all_workloads;
+use std::time::Instant;
+
+fn main() {
+    let cfg = SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet);
+    let all = all_workloads();
+    let picks = [
+        "462.libquantum-714B", // friendly stream
+        "410.bwaves-1963B",    // friendly stream
+        "437.leslie3d-134B",   // friendly stride
+        "436.cactusADM-1804B", // friendly spatial
+        "cvp-compute_fp_17",   // friendly mixed-phase
+        "429.mcf-184B",        // adverse pointer chase
+        "483.xalancbmk-127B",  // adverse
+        "450.soplex-247B",     // adverse hash probe
+        "ligra-BFS-24B",       // adverse graph
+        "cvp-compute_int_5",   // adverse compute
+    ];
+    let n = 200_000;
+    println!(
+        "{:<24} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "workload", "base", "pf-only", "ocp-only", "naive", "athena", "mab"
+    );
+    for name in picks {
+        let spec = all.iter().find(|w| w.name == name).expect(name);
+        let t0 = Instant::now();
+        let base = simulate(spec, &cfg, CoordinatorKind::Baseline, n);
+        let pf = simulate(spec, &cfg, CoordinatorKind::PrefetchersOnly, n);
+        let ocp = simulate(spec, &cfg, CoordinatorKind::OcpOnly, n);
+        let naive = simulate(spec, &cfg, CoordinatorKind::Naive, n);
+        let athena = simulate(spec, &cfg, CoordinatorKind::Athena, n);
+        let mab = simulate(spec, &cfg, CoordinatorKind::Mab, n);
+        println!(
+            "{:<24} {:>9.4} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}   ({:?} for 6 runs, pf acc {:.2}, ocp acc {:.2}, mpki {:.1})",
+            name,
+            base.ipc,
+            pf.ipc / base.ipc,
+            ocp.ipc / base.ipc,
+            naive.ipc / base.ipc,
+            athena.ipc / base.ipc,
+            mab.ipc / base.ipc,
+            t0.elapsed(),
+            naive.stats.prefetcher_accuracy(),
+            naive.stats.ocp_accuracy(),
+            base.stats.llc_mpki(),
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! The `figures` CLI: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p athena-harness --bin figures -- --fig fig7
+//! cargo run --release -p athena-harness --bin figures -- --all --quick
+//! cargo run --release -p athena-harness --bin figures -- --fig fig14 --instructions 500000 --out results/
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use athena_harness::experiments::{experiment_names, run_experiment};
+use athena_harness::RunOptions;
+
+struct Args {
+    figs: Vec<String>,
+    opts: RunOptions,
+    out_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut figs = Vec::new();
+    let mut all = false;
+    let mut quick = false;
+    let mut instructions: Option<u64> = None;
+    let mut workload_limit: Option<usize> = None;
+    let mut out_dir = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fig" => figs.push(args.next().ok_or("--fig needs a value")?),
+            "--all" => all = true,
+            "--quick" => quick = true,
+            "--instructions" => {
+                instructions = Some(
+                    args.next()
+                        .ok_or("--instructions needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --instructions: {e}"))?,
+                )
+            }
+            "--workloads" => {
+                workload_limit = Some(
+                    args.next()
+                        .ok_or("--workloads needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --workloads: {e}"))?,
+                )
+            }
+            "--out" => out_dir = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
+            "--list" => {
+                for n in experiment_names() {
+                    println!("{n}");
+                }
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: figures [--fig <id>]... [--all] [--quick] \
+                     [--instructions N] [--workloads N] [--out DIR] [--list]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if all {
+        figs = experiment_names().iter().map(|s| s.to_string()).collect();
+    }
+    if figs.is_empty() {
+        return Err("no experiment selected; use --fig <id> or --all (see --list)".to_string());
+    }
+    let mut opts = if quick {
+        RunOptions::quick()
+    } else {
+        RunOptions::full()
+    };
+    if let Some(i) = instructions {
+        opts.instructions = i;
+    }
+    if let Some(w) = workload_limit {
+        opts.workload_limit = Some(w);
+    }
+    Ok(Args {
+        figs,
+        opts,
+        out_dir,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    for fig in &args.figs {
+        let start = Instant::now();
+        match run_experiment(fig, args.opts) {
+            Some(table) => {
+                println!("{table}");
+                println!("[{fig} completed in {:.1?}]\n", start.elapsed());
+                if let Some(dir) = &args.out_dir {
+                    if let Err(e) = std::fs::create_dir_all(dir) {
+                        eprintln!("error: cannot create {}: {e}", dir.display());
+                        std::process::exit(1);
+                    }
+                    let path = dir.join(format!("{fig}.csv"));
+                    if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                        eprintln!("error: cannot write {}: {e}", path.display());
+                        std::process::exit(1);
+                    }
+                    println!("wrote {}", path.display());
+                }
+            }
+            None => {
+                eprintln!("error: unknown experiment '{fig}' (see --list)");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # athena-harness
+//!
+//! The experiment harness that reproduces every figure of the Athena paper's evaluation.
+//!
+//! The harness wires together the workload suite (`athena-workloads`), the simulator
+//! substrate (`athena-sim`), the prefetchers, off-chip predictors, baseline coordination
+//! policies and the Athena agent, and exposes:
+//!
+//! * [`SystemConfig`] — the four cache designs (CD1–CD4) and their sensitivity variants;
+//! * [`simulate`] — one single-core run of a workload under a configuration and policy;
+//! * [`experiments`] — one function per paper figure (`fig1()` … `fig21()`, plus the DSE
+//!   and storage tables), each returning an [`ExperimentTable`] that can be printed or
+//!   written as CSV;
+//! * the `figures` binary — `cargo run --release -p athena-harness --bin figures -- --fig
+//!   fig7`.
+//!
+//! ```no_run
+//! use athena_harness::{simulate, CoordinatorKind, OcpKind, PrefetcherKind, SystemConfig};
+//! use athena_workloads::all_workloads;
+//!
+//! let spec = &all_workloads()[0];
+//! let config = SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet);
+//! let run = simulate(spec, &config, CoordinatorKind::Athena, 100_000);
+//! println!("{} IPC = {:.3}", spec.name, run.ipc);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod run;
+mod table;
+
+pub use run::{
+    simulate, simulate_multicore, CoordinatorKind, OcpKind, PrefetcherKind, RunOptions,
+    RunResult, SystemConfig,
+};
+pub use table::ExperimentTable;
+
+/// Geometric mean of a slice of positive values; returns 1.0 for an empty slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 1.0);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,150 @@
+//! Tabular experiment results: pretty printing and CSV export.
+
+use std::fmt;
+
+/// A rectangular results table: one row per configuration/policy, one column per category
+/// or parameter value, with a title matching the paper figure it reproduces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentTable {
+    /// Table title, e.g. `"Figure 7: speedup in CD1 <popet, pythia>"`.
+    pub title: String,
+    /// Name of the row-label column, e.g. `"policy"`.
+    pub row_label: String,
+    /// Column headers, e.g. workload categories.
+    pub columns: Vec<String>,
+    /// Rows: label plus one value per column.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl ExperimentTable {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        row_label: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            row_label: row_label.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of values differs from the number of columns.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width must match column count"
+        );
+        self.rows.push((label.into(), values));
+    }
+
+    /// Returns the value at (row label, column name), if present.
+    pub fn get(&self, row: &str, column: &str) -> Option<f64> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        self.rows
+            .iter()
+            .find(|(label, _)| label == row)
+            .map(|(_, values)| values[col])
+    }
+
+    /// Serialises the table as CSV (header row first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.row_label);
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(label);
+            for v in values {
+                out.push(',');
+                out.push_str(&format!("{v:.4}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for ExperimentTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let label_width = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(self.row_label.len()))
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        write!(f, "{:<label_width$}", self.row_label)?;
+        for c in &self.columns {
+            write!(f, "  {c:>20}")?;
+        }
+        writeln!(f)?;
+        for (label, values) in &self.rows {
+            write!(f, "{label:<label_width$}")?;
+            for v in values {
+                write!(f, "  {v:>20.4}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> ExperimentTable {
+        let mut t = ExperimentTable::new(
+            "Figure X",
+            "policy",
+            vec!["adverse".to_string(), "friendly".to_string()],
+        );
+        t.push_row("naive", vec![0.9, 1.2]);
+        t.push_row("athena", vec![1.05, 1.19]);
+        t
+    }
+
+    #[test]
+    fn get_by_row_and_column() {
+        let t = table();
+        assert_eq!(t.get("athena", "adverse"), Some(1.05));
+        assert_eq!(t.get("athena", "missing"), None);
+        assert_eq!(t.get("missing", "adverse"), None);
+    }
+
+    #[test]
+    fn csv_round_trips_structure() {
+        let csv = table().to_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "policy,adverse,friendly");
+        assert!(lines[1].starts_with("naive,0.9000"));
+    }
+
+    #[test]
+    fn display_contains_title_and_rows() {
+        let text = format!("{}", table());
+        assert!(text.contains("Figure X"));
+        assert!(text.contains("athena"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = table();
+        t.push_row("bad", vec![1.0]);
+    }
+}

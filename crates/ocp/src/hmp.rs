@@ -1,0 +1,203 @@
+//! HMP — a hit/miss predictor built like a hybrid branch predictor (Yoaz et al., ISCA 1999).
+//!
+//! Three component predictors vote on whether a load will go off-chip:
+//!
+//! * **local** — a per-PC history of recent hit/miss outcomes indexes a pattern table of
+//!   saturating counters;
+//! * **gshare** — the global off-chip outcome history XOR-ed with the PC indexes a counter
+//!   table;
+//! * **gskew** — three differently hashed counter tables whose majority forms the component
+//!   prediction.
+//!
+//! The final prediction is the majority of the three components, each trained on the actual
+//! outcome.
+
+use athena_sim::{CacheLevel, LoadContext, OffChipPredictor};
+
+const LOCAL_HIST_BITS: u32 = 8;
+const LOCAL_TABLE_SIZE: usize = 1 << 12;
+const LOCAL_PC_SLOTS: usize = 1 << 10;
+const GLOBAL_TABLE_SIZE: usize = 1 << 12;
+const GSKEW_TABLE_SIZE: usize = 1 << 11;
+
+fn counter_update(counter: &mut u8, outcome: bool) {
+    if outcome {
+        *counter = (*counter + 1).min(3);
+    } else {
+        *counter = counter.saturating_sub(1);
+    }
+}
+
+fn counter_predict(counter: u8) -> bool {
+    counter >= 2
+}
+
+/// The HMP hybrid hit/miss off-chip predictor.
+#[derive(Debug, Clone)]
+pub struct Hmp {
+    local_history: Vec<u16>,
+    local_table: Vec<u8>,
+    gshare_table: Vec<u8>,
+    gskew_tables: [Vec<u8>; 3],
+    global_history: u64,
+}
+
+impl Hmp {
+    /// Creates an HMP predictor with its three component predictors.
+    pub fn new() -> Self {
+        Self {
+            local_history: vec![0; LOCAL_PC_SLOTS],
+            local_table: vec![1; LOCAL_TABLE_SIZE],
+            gshare_table: vec![1; GLOBAL_TABLE_SIZE],
+            gskew_tables: [
+                vec![1; GSKEW_TABLE_SIZE],
+                vec![1; GSKEW_TABLE_SIZE],
+                vec![1; GSKEW_TABLE_SIZE],
+            ],
+            global_history: 0,
+        }
+    }
+
+    fn local_index(&self, pc: u64) -> (usize, usize) {
+        let slot = ((pc >> 2) as usize) % LOCAL_PC_SLOTS;
+        let hist = self.local_history[slot] & ((1 << LOCAL_HIST_BITS) - 1);
+        let idx = ((u64::from(hist) << 3) ^ (pc >> 2)) as usize % LOCAL_TABLE_SIZE;
+        (slot, idx)
+    }
+
+    fn gshare_index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ self.global_history) as usize) % GLOBAL_TABLE_SIZE
+    }
+
+    fn gskew_indices(&self, pc: u64) -> [usize; 3] {
+        let h = self.global_history;
+        let p = pc >> 2;
+        [
+            ((p ^ (h << 1)) as usize) % GSKEW_TABLE_SIZE,
+            ((p.rotate_left(7) ^ h) as usize) % GSKEW_TABLE_SIZE,
+            ((p.wrapping_mul(0x9e37_79b9) ^ (h >> 1)) as usize) % GSKEW_TABLE_SIZE,
+        ]
+    }
+
+    fn component_votes(&self, pc: u64) -> [bool; 3] {
+        let (_, li) = self.local_index(pc);
+        let local = counter_predict(self.local_table[li]);
+        let gshare = counter_predict(self.gshare_table[self.gshare_index(pc)]);
+        let gi = self.gskew_indices(pc);
+        let gskew_votes = gi
+            .iter()
+            .zip(self.gskew_tables.iter())
+            .filter(|(&i, t)| counter_predict(t[i]))
+            .count();
+        let gskew = gskew_votes >= 2;
+        [local, gshare, gskew]
+    }
+}
+
+impl Default for Hmp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OffChipPredictor for Hmp {
+    fn name(&self) -> &'static str {
+        "hmp"
+    }
+
+    fn predict(&mut self, ctx: &LoadContext) -> bool {
+        let votes = self.component_votes(ctx.pc);
+        votes.iter().filter(|&&v| v).count() >= 2
+    }
+
+    fn confidence(&mut self, ctx: &LoadContext) -> f32 {
+        let votes = self.component_votes(ctx.pc);
+        votes.iter().filter(|&&v| v).count() as f32 / 3.0
+    }
+
+    fn train(&mut self, ctx: &LoadContext, went_off_chip: bool) {
+        let (slot, li) = self.local_index(ctx.pc);
+        counter_update(&mut self.local_table[li], went_off_chip);
+        self.local_history[slot] =
+            (self.local_history[slot] << 1) | u16::from(went_off_chip);
+
+        let gi = self.gshare_index(ctx.pc);
+        counter_update(&mut self.gshare_table[gi], went_off_chip);
+
+        let gsk = self.gskew_indices(ctx.pc);
+        for (t, &i) in self.gskew_tables.iter_mut().zip(gsk.iter()) {
+            counter_update(&mut t[i], went_off_chip);
+        }
+        self.global_history = (self.global_history << 1) | u64::from(went_off_chip);
+    }
+
+    fn on_fill(&mut self, _line_addr: u64, _level: CacheLevel) {}
+    fn on_evict(&mut self, _line_addr: u64, _level: CacheLevel) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(pc: u64) -> LoadContext {
+        LoadContext {
+            pc,
+            addr: 0x1000,
+            line_offset_in_page: 0,
+            byte_offset: 0,
+            first_access_to_page: false,
+            recent_pc_hash: 0,
+        }
+    }
+
+    #[test]
+    fn learns_a_constant_outcome_per_pc() {
+        let mut p = Hmp::new();
+        for _ in 0..200 {
+            p.train(&ctx(0x400), true);
+            p.train(&ctx(0x800), false);
+        }
+        assert!(p.predict(&ctx(0x400)));
+        assert!(!p.predict(&ctx(0x800)));
+    }
+
+    #[test]
+    fn learns_an_alternating_pattern_through_local_history() {
+        let mut p = Hmp::new();
+        // Outcome alternates per access of the same PC: local history should capture it.
+        for i in 0..2000u64 {
+            let outcome = i % 2 == 0;
+            p.predict(&ctx(0x500));
+            p.train(&ctx(0x500), outcome);
+        }
+        let mut correct = 0;
+        for i in 2000..2200u64 {
+            let outcome = i % 2 == 0;
+            if p.predict(&ctx(0x500)) == outcome {
+                correct += 1;
+            }
+            p.train(&ctx(0x500), outcome);
+        }
+        assert!(correct > 150, "alternating pattern should be learned, got {correct}/200");
+    }
+
+    #[test]
+    fn confidence_reflects_vote_count() {
+        let mut p = Hmp::new();
+        for _ in 0..100 {
+            p.train(&ctx(0x900), true);
+        }
+        assert!(p.confidence(&ctx(0x900)) > 0.6);
+        let mut q = Hmp::new();
+        for _ in 0..100 {
+            q.train(&ctx(0x900), false);
+        }
+        assert!(q.confidence(&ctx(0x900)) < 0.4);
+    }
+
+    #[test]
+    fn default_prediction_is_on_chip() {
+        let mut p = Hmp::new();
+        assert!(!p.predict(&ctx(0x1234)));
+    }
+}

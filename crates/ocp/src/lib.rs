@@ -1,0 +1,64 @@
+//! # athena-ocp
+//!
+//! Off-chip predictors (OCPs) evaluated by the Athena paper, implementing
+//! [`athena_sim::OffChipPredictor`]:
+//!
+//! * [`Popet`] — the Hermes hashed-perceptron predictor (Bera et al., MICRO 2022): five
+//!   program features vote through per-feature weight tables; predicts off-chip when the
+//!   summed weight crosses an activation threshold.
+//! * [`Hmp`] — a hit/miss predictor in the style of hybrid branch predictors (Yoaz et al.,
+//!   ISCA 1999): local, gshare and gskew components with majority voting.
+//! * [`Ttp`] — a tag-tracking predictor (Jalili & Erez, HPCA 2022): mirrors on-chip
+//!   residency of cache-line tags and predicts off-chip when the tag is absent.
+//!
+//! ```
+//! use athena_ocp::{Popet, by_name};
+//! use athena_sim::OffChipPredictor;
+//!
+//! let p = Popet::new();
+//! assert_eq!(p.name(), "popet");
+//! assert!(by_name("ttp").is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hmp;
+mod popet;
+mod ttp;
+
+pub use hmp::Hmp;
+pub use popet::Popet;
+pub use ttp::Ttp;
+
+use athena_sim::OffChipPredictor;
+
+/// Creates an off-chip predictor by its canonical lowercase name (`"popet"`, `"hmp"`,
+/// `"ttp"`). Returns `None` for unknown names.
+pub fn by_name(name: &str) -> Option<Box<dyn OffChipPredictor>> {
+    match name {
+        "popet" => Some(Box::new(Popet::new())),
+        "hmp" => Some(Box::new(Hmp::new())),
+        "ttp" => Some(Box::new(Ttp::new())),
+        _ => None,
+    }
+}
+
+/// Names of every OCP this crate provides, in a stable order.
+pub fn all_names() -> &'static [&'static str] {
+    &["popet", "hmp", "ttp"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_knows_every_name() {
+        for name in all_names() {
+            let p = by_name(name).unwrap_or_else(|| panic!("unknown OCP {name}"));
+            assert_eq!(p.name(), *name);
+        }
+        assert!(by_name("oracle").is_none());
+    }
+}

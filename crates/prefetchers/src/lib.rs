@@ -1,0 +1,108 @@
+//! # athena-prefetchers
+//!
+//! Re-implementations of the six data prefetchers the Athena paper evaluates, plus two
+//! simple reference prefetchers, all implementing [`athena_sim::Prefetcher`]:
+//!
+//! | Prefetcher | Cache level | Idea |
+//! |---|---|---|
+//! | [`NextLine`] | any | prefetch the next N sequential lines |
+//! | [`StridePrefetcher`] | any | classic per-PC reference prediction table |
+//! | [`Ipcp`] | L1D | instruction-pointer classification (constant-stride / complex / global stream) |
+//! | [`Berti`] | L1D | timely local-delta learning per PC |
+//! | [`Pythia`] | L2C | online reinforcement-learning prefetcher over delta actions |
+//! | [`SppPpf`] | L2C | signature-path lookahead with a perceptron prefetch filter |
+//! | [`Mlop`] | L2C | multi-lookahead offset prefetching over an access map |
+//! | [`Sms`] | L2C | spatial memory streaming of region footprints |
+//!
+//! Every prefetcher honours its runtime `degree` so Athena's Q-value-driven aggressiveness
+//! control (and HPAC-style throttling) can scale it between 1 and `max_degree()`.
+//!
+//! ```
+//! use athena_prefetchers::{Pythia, by_name};
+//! use athena_sim::Prefetcher;
+//!
+//! let p = Pythia::new();
+//! assert_eq!(p.name(), "pythia");
+//! assert!(by_name("spp+ppf").is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod berti;
+mod ipcp;
+mod mlop;
+mod nextline;
+mod pythia;
+mod sms;
+mod spp_ppf;
+mod stride;
+
+pub use berti::Berti;
+pub use ipcp::Ipcp;
+pub use mlop::Mlop;
+pub use nextline::NextLine;
+pub use pythia::Pythia;
+pub use sms::Sms;
+pub use spp_ppf::SppPpf;
+pub use stride::StridePrefetcher;
+
+use athena_sim::{CacheLevel, Prefetcher};
+
+/// Creates a prefetcher by its canonical lowercase name.
+///
+/// Recognised names: `"next-line"`, `"stride"`, `"ipcp"`, `"berti"`, `"pythia"`,
+/// `"spp+ppf"`, `"mlop"`, `"sms"`. Returns `None` for unknown names.
+pub fn by_name(name: &str) -> Option<Box<dyn Prefetcher>> {
+    match name {
+        "next-line" => Some(Box::new(NextLine::new(CacheLevel::L2c, 4))),
+        "stride" => Some(Box::new(StridePrefetcher::new(CacheLevel::L2c))),
+        "ipcp" => Some(Box::new(Ipcp::new())),
+        "berti" => Some(Box::new(Berti::new())),
+        "pythia" => Some(Box::new(Pythia::new())),
+        "spp+ppf" => Some(Box::new(SppPpf::new())),
+        "mlop" => Some(Box::new(Mlop::new())),
+        "sms" => Some(Box::new(Sms::new())),
+        _ => None,
+    }
+}
+
+/// Names of every prefetcher this crate provides, in a stable order.
+pub fn all_names() -> &'static [&'static str] {
+    &[
+        "next-line",
+        "stride",
+        "ipcp",
+        "berti",
+        "pythia",
+        "spp+ppf",
+        "mlop",
+        "sms",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_knows_every_name() {
+        for name in all_names() {
+            let p = by_name(name).unwrap_or_else(|| panic!("unknown prefetcher {name}"));
+            assert_eq!(p.name(), *name);
+            assert!(p.max_degree() >= 1);
+            assert!(p.degree() >= 1);
+            assert!(p.degree() <= p.max_degree());
+        }
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn paper_prefetchers_sit_at_their_levels() {
+        assert_eq!(by_name("ipcp").unwrap().level(), CacheLevel::L1d);
+        assert_eq!(by_name("berti").unwrap().level(), CacheLevel::L1d);
+        for l2 in ["pythia", "spp+ppf", "mlop", "sms"] {
+            assert_eq!(by_name(l2).unwrap().level(), CacheLevel::L2c, "{l2}");
+        }
+    }
+}

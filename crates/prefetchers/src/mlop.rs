@@ -1,0 +1,217 @@
+//! MLOP — Multi-Lookahead Offset Prefetching (Shakerinava et al., DPC3 2019), reproduced in
+//! simplified form.
+//!
+//! MLOP keeps an *access map* of recently touched lines around each trigger and periodically
+//! scores every candidate offset at several lookahead levels: an offset gets credit at level
+//! `k` if, for past accesses, the line `offset` away was demanded within the next `k`
+//! accesses. At the end of each evaluation round the best offset per lookahead level is
+//! selected; triggers then prefetch those offsets (deduplicated), up to the current degree.
+
+use std::collections::VecDeque;
+
+use athena_sim::{AccessEvent, CacheLevel, PrefetchRequest, Prefetcher};
+
+const LINE: u64 = 64;
+/// Candidate offsets scored by the evaluator.
+const CANDIDATE_OFFSETS: [i64; 16] = [1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32, -1, -2, -4];
+/// Number of recent accesses kept in the access map.
+const HISTORY_LEN: usize = 256;
+/// Accesses per evaluation round.
+const ROUND_LEN: u32 = 256;
+/// Number of lookahead levels (degree slots) evaluated.
+const LEVELS: usize = 8;
+/// Minimum score (fraction of round accesses covered) for an offset to be selected.
+const MIN_SCORE: f32 = 0.20;
+
+/// The MLOP prefetcher (L2C).
+#[derive(Debug, Clone)]
+pub struct Mlop {
+    /// Recently accessed line addresses, most recent last.
+    history: VecDeque<u64>,
+    /// Scores for each (level, offset) pair in the current round.
+    scores: Vec<[u32; CANDIDATE_OFFSETS.len()]>,
+    accesses_in_round: u32,
+    /// Selected offset per level from the previous round (deduplicated at issue time).
+    selected: Vec<i64>,
+    degree: u32,
+    max_degree: u32,
+}
+
+impl Mlop {
+    /// Creates an MLOP prefetcher with its default maximum degree (8).
+    pub fn new() -> Self {
+        Self {
+            history: VecDeque::with_capacity(HISTORY_LEN),
+            scores: vec![[0; CANDIDATE_OFFSETS.len()]; LEVELS],
+            accesses_in_round: 0,
+            selected: Vec::new(),
+            degree: 8,
+            max_degree: 8,
+        }
+    }
+
+    /// Offsets currently selected for prefetching (diagnostics and tests).
+    pub fn selected_offsets(&self) -> &[i64] {
+        &self.selected
+    }
+
+    fn score_access(&mut self, line: u64) {
+        // For each lookahead level k (1..=LEVELS), check whether `line` equals a past access
+        // (k positions back) plus a candidate offset; if so, that offset predicted this
+        // access at level k.
+        for (level, row) in self.scores.iter_mut().enumerate() {
+            let back = level + 1;
+            if self.history.len() < back {
+                continue;
+            }
+            let past = self.history[self.history.len() - back];
+            let delta = line as i64 - past as i64;
+            for (oi, &off) in CANDIDATE_OFFSETS.iter().enumerate() {
+                if off == delta {
+                    row[oi] += 1;
+                }
+            }
+        }
+    }
+
+    fn end_round(&mut self) {
+        let denom = self.accesses_in_round.max(1) as f32;
+        let mut selected = Vec::new();
+        for row in &self.scores {
+            let (best_idx, &best_score) = row
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &s)| s)
+                .unwrap_or((0, &0));
+            if best_score as f32 / denom >= MIN_SCORE {
+                let off = CANDIDATE_OFFSETS[best_idx];
+                if !selected.contains(&off) {
+                    selected.push(off);
+                }
+            }
+        }
+        self.selected = selected;
+        self.scores = vec![[0; CANDIDATE_OFFSETS.len()]; LEVELS];
+        self.accesses_in_round = 0;
+    }
+}
+
+impl Default for Mlop {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Prefetcher for Mlop {
+    fn name(&self) -> &'static str {
+        "mlop"
+    }
+
+    fn level(&self) -> CacheLevel {
+        CacheLevel::L2c
+    }
+
+    fn on_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchRequest>) {
+        let line = ev.addr / LINE;
+        self.score_access(line);
+        self.history.push_back(line);
+        if self.history.len() > HISTORY_LEN {
+            self.history.pop_front();
+        }
+        self.accesses_in_round += 1;
+        if self.accesses_in_round >= ROUND_LEN {
+            self.end_round();
+        }
+
+        for &off in self.selected.iter().take(self.degree as usize) {
+            let target = line as i64 + off;
+            if target > 0 {
+                out.push(PrefetchRequest::new(target as u64 * LINE));
+            }
+        }
+    }
+
+    fn max_degree(&self) -> u32 {
+        self.max_degree
+    }
+
+    fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    fn set_degree(&mut self, degree: u32) {
+        self.degree = degree.clamp(1, self.max_degree);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(addr: u64) -> AccessEvent {
+        AccessEvent {
+            pc: 0x400,
+            addr,
+            cycle: 0,
+            hit: false,
+            first_use_of_prefetch: false,
+            is_store: false,
+        }
+    }
+
+    #[test]
+    fn selects_the_dominant_offset_after_a_round() {
+        let mut p = Mlop::new();
+        let mut out = Vec::new();
+        for i in 0..600u64 {
+            out.clear();
+            p.on_access(&ev(0x10_0000 + i * 64), &mut out);
+        }
+        assert!(p.selected_offsets().contains(&1), "offset +1 should be selected");
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn strided_stream_selects_its_stride() {
+        let mut p = Mlop::new();
+        let mut out = Vec::new();
+        for i in 0..600u64 {
+            out.clear();
+            p.on_access(&ev(0x20_0000 + i * 256), &mut out); // 4-line stride
+        }
+        assert!(p.selected_offsets().contains(&4));
+        if let Some(first) = out.first() {
+            assert_eq!(first.addr, 0x20_0000 + 599 * 256 + 4 * 64);
+        }
+    }
+
+    #[test]
+    fn random_traffic_selects_nothing() {
+        let mut p = Mlop::new();
+        let mut out = Vec::new();
+        let mut x = 11u64;
+        for _ in 0..1024 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            p.on_access(&ev((x >> 6) % (1 << 30)), &mut out);
+        }
+        assert!(
+            p.selected_offsets().is_empty(),
+            "no offset should reach the score threshold on random traffic: {:?}",
+            p.selected_offsets()
+        );
+    }
+
+    #[test]
+    fn degree_limits_issued_offsets() {
+        let mut p = Mlop::new();
+        p.set_degree(1);
+        let mut out = Vec::new();
+        // A pattern with two strong offsets (+1 within the round and +2 across).
+        for i in 0..600u64 {
+            out.clear();
+            let addr = 0x30_0000 + (i / 2) * 128 + (i % 2) * 64;
+            p.on_access(&ev(addr), &mut out);
+        }
+        assert!(out.len() <= 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! Next-line prefetcher: the simplest sequential prefetcher, used as a reference point and
+//! in unit tests throughout the workspace.
+
+use athena_sim::{AccessEvent, CacheLevel, PrefetchRequest, Prefetcher};
+
+const LINE: u64 = 64;
+
+/// Prefetches the next `degree` sequential cache lines after every demand access.
+#[derive(Debug, Clone)]
+pub struct NextLine {
+    level: CacheLevel,
+    degree: u32,
+    max_degree: u32,
+}
+
+impl NextLine {
+    /// Creates a next-line prefetcher at `level` with the given maximum degree.
+    pub fn new(level: CacheLevel, max_degree: u32) -> Self {
+        let max_degree = max_degree.max(1);
+        Self {
+            level,
+            degree: max_degree,
+            max_degree,
+        }
+    }
+}
+
+impl Prefetcher for NextLine {
+    fn name(&self) -> &'static str {
+        "next-line"
+    }
+
+    fn level(&self) -> CacheLevel {
+        self.level
+    }
+
+    fn on_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchRequest>) {
+        let line = ev.addr & !(LINE - 1);
+        for d in 1..=u64::from(self.degree) {
+            out.push(PrefetchRequest::new(line + d * LINE));
+        }
+    }
+
+    fn max_degree(&self) -> u32 {
+        self.max_degree
+    }
+
+    fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    fn set_degree(&mut self, degree: u32) {
+        self.degree = degree.clamp(1, self.max_degree);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(addr: u64) -> AccessEvent {
+        AccessEvent {
+            pc: 0x400,
+            addr,
+            cycle: 0,
+            hit: false,
+            first_use_of_prefetch: false,
+            is_store: false,
+        }
+    }
+
+    #[test]
+    fn emits_degree_sequential_lines() {
+        let mut p = NextLine::new(CacheLevel::L2c, 4);
+        let mut out = Vec::new();
+        p.on_access(&ev(0x1000), &mut out);
+        assert_eq!(
+            out.iter().map(|r| r.addr).collect::<Vec<_>>(),
+            vec![0x1040, 0x1080, 0x10c0, 0x1100]
+        );
+    }
+
+    #[test]
+    fn degree_is_clamped() {
+        let mut p = NextLine::new(CacheLevel::L1d, 4);
+        p.set_degree(100);
+        assert_eq!(p.degree(), 4);
+        p.set_degree(0);
+        assert_eq!(p.degree(), 1);
+        let mut out = Vec::new();
+        p.on_access(&ev(0x2000), &mut out);
+        assert_eq!(out.len(), 1);
+    }
+}

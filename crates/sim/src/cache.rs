@@ -1,0 +1,572 @@
+//! Set-associative cache model with LRU and SHiP-style replacement, per-line prefetch
+//! metadata and eviction reporting.
+//!
+//! The cache simulates contents exactly (tags, replacement state, dirty bits) so that
+//! prefetch-induced pollution, prefetch usefulness and off-chip behaviour emerge from the
+//! simulated workload rather than from analytical approximations.
+
+use crate::trace::LINE_SIZE;
+
+/// Identifies a level of the cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheLevel {
+    /// First-level data cache.
+    L1d,
+    /// Private unified second-level cache.
+    L2c,
+    /// Shared last-level cache.
+    Llc,
+}
+
+impl std::fmt::Display for CacheLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheLevel::L1d => write!(f, "L1D"),
+            CacheLevel::L2c => write!(f, "L2C"),
+            CacheLevel::Llc => write!(f, "LLC"),
+        }
+    }
+}
+
+/// Replacement policy used by a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Replacement {
+    /// Least-recently-used.
+    Lru,
+    /// Signature-based Hit Predictor (SHiP)-style re-reference interval prediction. Lines
+    /// whose PC signature rarely produces re-references are inserted with a distant
+    /// re-reference prediction and are evicted first.
+    Ship,
+}
+
+/// Static configuration of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Human-readable name used in statistics output.
+    pub name: &'static str,
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Round-trip lookup latency in cycles.
+    pub latency: u64,
+    /// Number of miss-status holding registers (bounds outstanding misses).
+    pub mshrs: usize,
+    /// Replacement policy.
+    pub replacement: Replacement,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the capacity, associativity and 64-byte lines.
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / (LINE_SIZE * self.ways as u64)).max(1) as usize
+    }
+}
+
+/// Outcome of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// The line was present (possibly still in flight).
+    Hit {
+        /// The line was brought in by a prefetch and this is the first demand touch.
+        first_use_of_prefetch: bool,
+        /// Cycle at which the line's data is (or was) actually available. For lines whose
+        /// fill is still in flight — typically prefetches waiting on the DRAM bus — this is
+        /// in the future and the demand must wait for it.
+        ready_cycle: u64,
+    },
+    /// The line was absent.
+    Miss,
+}
+
+impl LookupOutcome {
+    /// Returns `true` for a hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, LookupOutcome::Hit { .. })
+    }
+}
+
+/// Description of a line evicted by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Line-aligned address of the victim.
+    pub line_addr: u64,
+    /// Whether the victim was dirty (requires a writeback).
+    pub dirty: bool,
+    /// Whether the victim was brought in by a prefetch.
+    pub was_prefetch: bool,
+    /// Whether the victim was ever demanded while resident.
+    pub was_used: bool,
+    /// Whether the eviction was caused by a prefetch fill (i.e. the *new* line is a
+    /// prefetch). Used for pollution accounting.
+    pub evicted_by_prefetch: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Brought in by a prefetch and not yet demanded.
+    prefetch: bool,
+    /// Demanded at least once while resident.
+    used: bool,
+    /// LRU stamp (higher = more recent) or RRPV depending on the policy.
+    lru: u64,
+    rrpv: u8,
+    /// SHiP signature of the filling PC.
+    signature: u16,
+    /// Cycle at which the fill's data is available (0 for lines filled in the past).
+    ready: u64,
+}
+
+impl Line {
+    fn invalid() -> Self {
+        Self {
+            tag: 0,
+            valid: false,
+            dirty: false,
+            prefetch: false,
+            used: false,
+            lru: 0,
+            rrpv: 3,
+            signature: 0,
+            ready: 0,
+        }
+    }
+}
+
+const SHIP_TABLE_SIZE: usize = 1 << 12;
+const RRPV_MAX: u8 = 3;
+
+/// A set-associative cache with exact content simulation.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    level: CacheLevel,
+    sets: Vec<Vec<Line>>,
+    lru_clock: u64,
+    /// SHiP signature outcome counters (2-bit saturating).
+    ship_table: Vec<u8>,
+    // Statistics.
+    accesses: u64,
+    hits: u64,
+    misses: u64,
+    prefetch_fills: u64,
+    demand_fills: u64,
+    useful_prefetches: u64,
+    evicted_unused_prefetches: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given configuration at the given level.
+    pub fn new(config: CacheConfig, level: CacheLevel) -> Self {
+        let sets = config.sets();
+        Self {
+            config,
+            level,
+            sets: vec![vec![Line::invalid(); config.ways]; sets],
+            lru_clock: 0,
+            ship_table: vec![1; SHIP_TABLE_SIZE],
+            accesses: 0,
+            hits: 0,
+            misses: 0,
+            prefetch_fills: 0,
+            demand_fills: 0,
+            useful_prefetches: 0,
+            evicted_unused_prefetches: 0,
+        }
+    }
+
+    /// The level this cache sits at.
+    pub fn level(&self) -> CacheLevel {
+        self.level
+    }
+
+    /// The static configuration of this cache.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Round-trip lookup latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.config.latency
+    }
+
+    fn index_of(&self, line_addr: u64) -> (usize, u64) {
+        let line = line_addr / LINE_SIZE;
+        let set = (line % self.sets.len() as u64) as usize;
+        let tag = line / self.sets.len() as u64;
+        (set, tag)
+    }
+
+    fn ship_index(pc: u64) -> usize {
+        ((pc >> 2) ^ (pc >> 13)) as usize % SHIP_TABLE_SIZE
+    }
+
+    /// Looks up `addr` as a demand access from `pc`, updating replacement and prefetch-use
+    /// metadata. Returns whether the access hit.
+    pub fn lookup(&mut self, addr: u64, pc: u64) -> LookupOutcome {
+        self.accesses += 1;
+        self.lru_clock += 1;
+        let line_addr = addr & !(LINE_SIZE - 1);
+        let (set, tag) = self.index_of(line_addr);
+        let clock = self.lru_clock;
+        for line in &mut self.sets[set] {
+            if line.valid && line.tag == tag {
+                self.hits += 1;
+                let first_use = line.prefetch && !line.used;
+                if first_use {
+                    self.useful_prefetches += 1;
+                }
+                line.used = true;
+                line.prefetch = false;
+                line.lru = clock;
+                line.rrpv = 0;
+                // SHiP: the signature that filled this line produced a re-reference.
+                let sig = line.signature as usize % SHIP_TABLE_SIZE;
+                self.ship_table[sig] = (self.ship_table[sig] + 1).min(3);
+                let _ = pc;
+                return LookupOutcome::Hit {
+                    first_use_of_prefetch: first_use,
+                    ready_cycle: line.ready,
+                };
+            }
+        }
+        self.misses += 1;
+        LookupOutcome::Miss
+    }
+
+    /// Probes for `addr` without modifying any state. Used by tag-tracking predictors and
+    /// tests.
+    pub fn probe(&self, addr: u64) -> bool {
+        let line_addr = addr & !(LINE_SIZE - 1);
+        let (set, tag) = self.index_of(line_addr);
+        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Marks the line containing `addr` dirty if present (store hit).
+    pub fn mark_dirty(&mut self, addr: u64) {
+        let line_addr = addr & !(LINE_SIZE - 1);
+        let (set, tag) = self.index_of(line_addr);
+        for line in &mut self.sets[set] {
+            if line.valid && line.tag == tag {
+                line.dirty = true;
+                return;
+            }
+        }
+    }
+
+    /// Fills the line containing `addr`, evicting a victim if the set is full.
+    ///
+    /// `is_prefetch` marks the new line as a prefetch (not yet demanded); `pc` is the
+    /// triggering instruction used for SHiP signatures; `ready_cycle` is when the fill's
+    /// data actually arrives (demand hits before that cycle must wait for it). Returns the
+    /// evicted line, if any valid line had to be replaced.
+    pub fn fill(
+        &mut self,
+        addr: u64,
+        is_prefetch: bool,
+        pc: u64,
+        ready_cycle: u64,
+    ) -> Option<EvictedLine> {
+        let line_addr = addr & !(LINE_SIZE - 1);
+        let (set, tag) = self.index_of(line_addr);
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+
+        if is_prefetch {
+            self.prefetch_fills += 1;
+        } else {
+            self.demand_fills += 1;
+        }
+
+        // If already present just refresh metadata (e.g. a demand fill racing a prefetch).
+        if let Some(line) = self.sets[set]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
+            line.lru = clock;
+            line.rrpv = if is_prefetch { 2 } else { 0 };
+            line.ready = line.ready.min(ready_cycle);
+            if !is_prefetch {
+                line.prefetch = false;
+                line.used = true;
+            }
+            return None;
+        }
+
+        let victim_way = self.choose_victim(set);
+        let sets_count = self.sets.len() as u64;
+        let victim = {
+            let line = &self.sets[set][victim_way];
+            if line.valid {
+                Some(EvictedLine {
+                    line_addr: (line.tag * sets_count + set as u64) * LINE_SIZE,
+                    dirty: line.dirty,
+                    was_prefetch: line.prefetch || (!line.used && line.prefetch),
+                    was_used: line.used,
+                    evicted_by_prefetch: is_prefetch,
+                })
+            } else {
+                None
+            }
+        };
+
+        if let Some(ev) = &victim {
+            if ev.was_prefetch && !ev.was_used {
+                self.evicted_unused_prefetches += 1;
+                // SHiP: the filling signature produced no re-reference.
+                let sig = self.sets[set][victim_way].signature as usize % SHIP_TABLE_SIZE;
+                self.ship_table[sig] = self.ship_table[sig].saturating_sub(1);
+            }
+        }
+
+        let signature = Self::ship_index(pc) as u16;
+        let predicted_dead = self.config.replacement == Replacement::Ship
+            && self.ship_table[signature as usize % SHIP_TABLE_SIZE] == 0;
+        self.sets[set][victim_way] = Line {
+            tag,
+            valid: true,
+            dirty: false,
+            prefetch: is_prefetch,
+            used: !is_prefetch,
+            lru: clock,
+            rrpv: if predicted_dead || is_prefetch { RRPV_MAX - 1 } else { 1 },
+            signature,
+            ready: ready_cycle,
+        };
+        victim
+    }
+
+    fn choose_victim(&mut self, set: usize) -> usize {
+        // Prefer an invalid way.
+        if let Some(idx) = self.sets[set].iter().position(|l| !l.valid) {
+            return idx;
+        }
+        match self.config.replacement {
+            Replacement::Lru => self.sets[set]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+            Replacement::Ship => {
+                // RRIP victim selection: evict a line with RRPV_MAX, aging until one exists.
+                loop {
+                    if let Some(idx) = self.sets[set].iter().position(|l| l.rrpv >= RRPV_MAX) {
+                        return idx;
+                    }
+                    for l in &mut self.sets[set] {
+                        l.rrpv = (l.rrpv + 1).min(RRPV_MAX);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Invalidates the line containing `addr` if present (used for back-invalidation in
+    /// multi-level fills and by tests).
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let line_addr = addr & !(LINE_SIZE - 1);
+        let (set, tag) = self.index_of(line_addr);
+        for line in &mut self.sets[set] {
+            if line.valid && line.tag == tag {
+                line.valid = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|l| l.valid).count())
+            .sum()
+    }
+
+    /// Total lookups performed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Demand hits observed.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Demand misses observed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of prefetch fills performed.
+    pub fn prefetch_fills(&self) -> u64 {
+        self.prefetch_fills
+    }
+
+    /// Number of prefetched lines demanded at least once.
+    pub fn useful_prefetches(&self) -> u64 {
+        self.useful_prefetches
+    }
+
+    /// Number of prefetched lines evicted without ever being demanded.
+    pub fn evicted_unused_prefetches(&self) -> u64 {
+        self.evicted_unused_prefetches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cache(replacement: Replacement) -> Cache {
+        Cache::new(
+            CacheConfig {
+                name: "T",
+                size_bytes: 4 * LINE_SIZE * 2, // 2 sets, 4 ways
+                ways: 4,
+                latency: 3,
+                mshrs: 4,
+                replacement,
+            },
+            CacheLevel::L1d,
+        )
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny_cache(Replacement::Lru);
+        assert_eq!(c.lookup(0x1000, 0x400), LookupOutcome::Miss);
+        assert!(c.fill(0x1000, false, 0x400, 0).is_none());
+        assert!(c.lookup(0x1000, 0x400).is_hit());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn same_line_different_bytes_hit() {
+        let mut c = tiny_cache(Replacement::Lru);
+        c.fill(0x1000, false, 0, 0);
+        assert!(c.lookup(0x103f, 0).is_hit());
+        assert!(!c.lookup(0x1040, 0).is_hit());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny_cache(Replacement::Lru);
+        // Fill 4 ways of set 0 (stride = 2 lines because there are 2 sets).
+        let stride = 2 * LINE_SIZE;
+        for i in 0..4u64 {
+            c.fill(i * stride, false, 0, 0);
+        }
+        // Touch lines 1..3 so line 0 is LRU.
+        for i in 1..4u64 {
+            assert!(c.lookup(i * stride, 0).is_hit());
+        }
+        let ev = c.fill(4 * stride, false, 0, 0).expect("set was full");
+        assert_eq!(ev.line_addr, 0);
+        assert!(!c.probe(0));
+        assert!(c.probe(4 * stride));
+    }
+
+    #[test]
+    fn prefetch_first_use_is_reported_once() {
+        let mut c = tiny_cache(Replacement::Lru);
+        c.fill(0x2000, true, 0x77, 0);
+        match c.lookup(0x2000, 0x77) {
+            LookupOutcome::Hit {
+                first_use_of_prefetch,
+                ..
+            } => assert!(first_use_of_prefetch),
+            LookupOutcome::Miss => panic!("expected hit"),
+        }
+        match c.lookup(0x2000, 0x77) {
+            LookupOutcome::Hit {
+                first_use_of_prefetch,
+                ..
+            } => assert!(!first_use_of_prefetch),
+            LookupOutcome::Miss => panic!("expected hit"),
+        }
+        assert_eq!(c.useful_prefetches(), 1);
+    }
+
+    #[test]
+    fn eviction_reports_prefetch_metadata() {
+        let mut c = tiny_cache(Replacement::Lru);
+        let stride = 2 * LINE_SIZE;
+        c.fill(0, true, 0, 0); // unused prefetch, will become LRU victim
+        for i in 1..4u64 {
+            c.fill(i * stride, false, 0, 0);
+        }
+        let ev = c.fill(4 * stride, true, 0, 0).expect("eviction");
+        assert_eq!(ev.line_addr, 0);
+        assert!(ev.was_prefetch);
+        assert!(!ev.was_used);
+        assert!(ev.evicted_by_prefetch);
+        assert_eq!(c.evicted_unused_prefetches(), 1);
+    }
+
+    #[test]
+    fn dirty_bit_follows_stores() {
+        let mut c = tiny_cache(Replacement::Lru);
+        let stride = 2 * LINE_SIZE;
+        c.fill(0, false, 0, 0);
+        c.mark_dirty(0x10);
+        for i in 1..4u64 {
+            c.fill(i * stride, false, 0, 0);
+        }
+        let ev = c.fill(4 * stride, false, 0, 0).expect("eviction");
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny_cache(Replacement::Lru);
+        c.fill(0x3000, false, 0, 0);
+        assert!(c.probe(0x3000));
+        assert!(c.invalidate(0x3000));
+        assert!(!c.probe(0x3000));
+        assert!(!c.invalidate(0x3000));
+    }
+
+    #[test]
+    fn ship_replacement_still_bounds_occupancy() {
+        let mut c = tiny_cache(Replacement::Ship);
+        for i in 0..64u64 {
+            c.fill(i * LINE_SIZE, i % 3 == 0, 0x400 + (i % 7), 0);
+            c.lookup(i * LINE_SIZE, 0x400 + (i % 7));
+        }
+        assert!(c.occupancy() <= 8);
+    }
+
+    #[test]
+    fn refill_of_resident_line_does_not_evict() {
+        let mut c = tiny_cache(Replacement::Lru);
+        c.fill(0x1000, true, 0, 0);
+        assert!(c.fill(0x1000, false, 0, 0).is_none());
+        // The demand refill clears the prefetch flag.
+        match c.lookup(0x1000, 0) {
+            LookupOutcome::Hit {
+                first_use_of_prefetch,
+                ..
+            } => assert!(!first_use_of_prefetch),
+            _ => panic!("expected hit"),
+        }
+    }
+
+    #[test]
+    fn sets_calculation() {
+        let cfg = CacheConfig {
+            name: "x",
+            size_bytes: 48 * 1024,
+            ways: 12,
+            latency: 5,
+            mshrs: 16,
+            replacement: Replacement::Lru,
+        };
+        assert_eq!(cfg.sets(), 64);
+    }
+}

@@ -1,0 +1,250 @@
+//! Simulator configuration: core, cache hierarchy and DRAM parameters.
+//!
+//! The defaults follow Table 5 of the paper (an Intel Golden-Cove-like core with a
+//! bandwidth-constrained DDR4 main memory of 3.2 GB/s per core).
+
+use crate::cache::{CacheConfig, Replacement};
+
+/// Core (front-end / ROB) parameters of the timing model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreConfig {
+    /// Maximum instructions issued into the ROB per cycle.
+    pub issue_width: u32,
+    /// Maximum instructions retired per cycle.
+    pub commit_width: u32,
+    /// Reorder buffer capacity in instructions.
+    pub rob_size: usize,
+    /// Extra front-end bubble cycles charged after a mispredicted branch resolves.
+    pub mispredict_penalty: u64,
+    /// Core clock frequency in GHz. Used to convert DRAM nanosecond timings and GB/s
+    /// bandwidth figures into core cycles.
+    pub frequency_ghz: f64,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self {
+            issue_width: 6,
+            commit_width: 6,
+            rob_size: 512,
+            mispredict_penalty: 17,
+            frequency_ghz: 4.0,
+        }
+    }
+}
+
+/// DRAM / memory-controller parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramConfig {
+    /// Peak main-memory bandwidth available to this core, in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Number of banks per rank.
+    pub banks: usize,
+    /// Row buffer size in bytes.
+    pub row_buffer_bytes: u64,
+    /// tRCD in nanoseconds.
+    pub trcd_ns: f64,
+    /// tRP in nanoseconds.
+    pub trp_ns: f64,
+    /// tCAS in nanoseconds.
+    pub tcas_ns: f64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self {
+            bandwidth_gbps: 3.2,
+            banks: 8,
+            row_buffer_bytes: 2048,
+            trcd_ns: 12.5,
+            trp_ns: 12.5,
+            tcas_ns: 12.5,
+        }
+    }
+}
+
+/// Full single-core system configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Core parameters.
+    pub core: CoreConfig,
+    /// L1 data cache parameters.
+    pub l1d: CacheConfig,
+    /// Unified private L2 cache parameters.
+    pub l2c: CacheConfig,
+    /// Shared last-level cache parameters (per-core slice in single-core runs).
+    pub llc: CacheConfig,
+    /// Main memory parameters.
+    pub dram: DramConfig,
+    /// Latency, in cycles, for an off-chip predictor's speculative request to reach the
+    /// memory controller once the load address is known (6 cycles in the paper's default).
+    pub ocp_issue_latency: u64,
+    /// Number of retired instructions per coordination epoch (2K in the paper).
+    pub epoch_len: u64,
+    /// Number of cycles after an epoch ends before a coordinator's updated decision takes
+    /// effect, modelling the QVStore update latency (50 cycles in the paper). The simulator
+    /// applies the new decision from the next epoch regardless; the value is kept for
+    /// storage/latency reporting and sensitivity studies.
+    pub coordinator_update_latency: u64,
+}
+
+impl SimConfig {
+    /// The paper's baseline system (Table 5): Golden-Cove-like core, 48 KB L1D, 1.25 MB L2,
+    /// 3 MB LLC slice, 3.2 GB/s DDR4 per core.
+    pub fn golden_cove_like() -> Self {
+        Self {
+            core: CoreConfig::default(),
+            l1d: CacheConfig {
+                name: "L1D",
+                size_bytes: 48 * 1024,
+                ways: 12,
+                latency: 5,
+                mshrs: 16,
+                replacement: Replacement::Lru,
+            },
+            l2c: CacheConfig {
+                name: "L2C",
+                size_bytes: 1280 * 1024,
+                ways: 20,
+                latency: 15,
+                mshrs: 48,
+                replacement: Replacement::Lru,
+            },
+            llc: CacheConfig {
+                name: "LLC",
+                size_bytes: 3 * 1024 * 1024,
+                ways: 12,
+                latency: 55,
+                mshrs: 64,
+                replacement: Replacement::Ship,
+            },
+            dram: DramConfig::default(),
+            ocp_issue_latency: 6,
+            epoch_len: 2048,
+            coordinator_update_latency: 50,
+        }
+    }
+
+    /// A scaled-down configuration with small caches, useful for fast unit tests that need
+    /// to exercise capacity misses without long traces.
+    pub fn tiny() -> Self {
+        Self {
+            core: CoreConfig {
+                issue_width: 4,
+                commit_width: 4,
+                rob_size: 64,
+                mispredict_penalty: 10,
+                frequency_ghz: 4.0,
+            },
+            l1d: CacheConfig {
+                name: "L1D",
+                size_bytes: 4 * 1024,
+                ways: 4,
+                latency: 4,
+                mshrs: 8,
+                replacement: Replacement::Lru,
+            },
+            l2c: CacheConfig {
+                name: "L2C",
+                size_bytes: 16 * 1024,
+                ways: 8,
+                latency: 12,
+                mshrs: 16,
+                replacement: Replacement::Lru,
+            },
+            llc: CacheConfig {
+                name: "LLC",
+                size_bytes: 64 * 1024,
+                ways: 8,
+                latency: 40,
+                mshrs: 32,
+                replacement: Replacement::Ship,
+            },
+            dram: DramConfig::default(),
+            ocp_issue_latency: 6,
+            epoch_len: 256,
+            coordinator_update_latency: 50,
+        }
+    }
+
+    /// Returns a copy of this configuration with a different main-memory bandwidth (GB/s).
+    pub fn with_bandwidth(mut self, gbps: f64) -> Self {
+        self.dram.bandwidth_gbps = gbps;
+        self
+    }
+
+    /// Returns a copy of this configuration with a different OCP request issue latency.
+    pub fn with_ocp_issue_latency(mut self, cycles: u64) -> Self {
+        self.ocp_issue_latency = cycles;
+        self
+    }
+
+    /// Returns a copy of this configuration with a different epoch length.
+    pub fn with_epoch_len(mut self, instructions: u64) -> Self {
+        self.epoch_len = instructions;
+        self
+    }
+
+    /// DRAM data-bus occupancy, in core cycles, of one 64-byte cache-line transfer at the
+    /// configured bandwidth.
+    pub fn dram_cycles_per_line(&self) -> u64 {
+        let bytes_per_cycle = self.dram.bandwidth_gbps / self.core.frequency_ghz;
+        (crate::trace::LINE_SIZE as f64 / bytes_per_cycle).round().max(1.0) as u64
+    }
+
+    /// Converts a nanosecond latency to core cycles at the configured frequency.
+    pub fn ns_to_cycles(&self, ns: f64) -> u64 {
+        (ns * self.core.frequency_ghz).round() as u64
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::golden_cove_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_cove_matches_table5() {
+        let c = SimConfig::golden_cove_like();
+        assert_eq!(c.core.rob_size, 512);
+        assert_eq!(c.core.issue_width, 6);
+        assert_eq!(c.l1d.size_bytes, 48 * 1024);
+        assert_eq!(c.l1d.ways, 12);
+        assert_eq!(c.l2c.ways, 20);
+        assert_eq!(c.llc.size_bytes, 3 * 1024 * 1024);
+        assert_eq!(c.dram.bandwidth_gbps, 3.2);
+        assert_eq!(c.epoch_len, 2048);
+    }
+
+    #[test]
+    fn bandwidth_translates_to_bus_cycles() {
+        let c = SimConfig::golden_cove_like();
+        // 3.2 GB/s at 4 GHz = 0.8 bytes/cycle => 80 cycles per 64-byte line.
+        assert_eq!(c.dram_cycles_per_line(), 80);
+        let wide = c.clone().with_bandwidth(12.8);
+        assert_eq!(wide.dram_cycles_per_line(), 20);
+        let narrow = SimConfig::golden_cove_like().with_bandwidth(1.6);
+        assert_eq!(narrow.dram_cycles_per_line(), 160);
+    }
+
+    #[test]
+    fn ns_conversion_uses_frequency() {
+        let c = SimConfig::golden_cove_like();
+        assert_eq!(c.ns_to_cycles(12.5), 50);
+    }
+
+    #[test]
+    fn builders_modify_only_their_field() {
+        let base = SimConfig::golden_cove_like();
+        let modified = base.clone().with_ocp_issue_latency(30).with_epoch_len(1024);
+        assert_eq!(modified.ocp_issue_latency, 30);
+        assert_eq!(modified.epoch_len, 1024);
+        assert_eq!(modified.l1d, base.l1d);
+        assert_eq!(modified.dram, base.dram);
+    }
+}

@@ -1,0 +1,240 @@
+//! Bandwidth-constrained DRAM / memory-controller model.
+//!
+//! The model captures the two properties the paper's observations depend on:
+//!
+//! 1. **Finite bandwidth** — every 64-byte transfer occupies a shared data bus for a number
+//!    of cycles derived from the configured GB/s, so demand requests queue behind prefetch
+//!    and off-chip-predictor traffic when the bus saturates.
+//! 2. **Row-buffer locality** — accesses that hit an open row pay only tCAS, while row
+//!    conflicts pay tRP + tRCD + tCAS, so streaming traffic is cheaper per request than
+//!    scattered traffic.
+
+use crate::config::SimConfig;
+
+/// Classification of a main-memory request, used for bandwidth-share accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DramRequestKind {
+    /// A demand load or store miss.
+    Demand,
+    /// A prefetcher-generated fill.
+    Prefetch,
+    /// A speculative fetch issued by an off-chip predictor.
+    Ocp,
+    /// A dirty-line writeback.
+    Writeback,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    open_row: Option<u64>,
+    next_free: u64,
+}
+
+/// Cumulative DRAM statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Total requests served.
+    pub total_requests: u64,
+    /// Demand requests served.
+    pub demand_requests: u64,
+    /// Prefetch requests served.
+    pub prefetch_requests: u64,
+    /// OCP speculative requests served.
+    pub ocp_requests: u64,
+    /// Writeback requests served.
+    pub writeback_requests: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Row-buffer misses/conflicts.
+    pub row_misses: u64,
+    /// Total cycles the data bus was busy.
+    pub bus_busy_cycles: u64,
+    /// Sum over requests of (completion - request) latency, demand requests only.
+    pub demand_latency_sum: u64,
+}
+
+/// The DRAM channel model.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    banks: Vec<Bank>,
+    bus_next_free: u64,
+    bus_cycles_per_line: u64,
+    trcd: u64,
+    trp: u64,
+    tcas: u64,
+    row_bytes: u64,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Creates a DRAM model from the system configuration.
+    pub fn new(config: &SimConfig) -> Self {
+        Self {
+            banks: vec![
+                Bank {
+                    open_row: None,
+                    next_free: 0
+                };
+                config.dram.banks
+            ],
+            bus_next_free: 0,
+            bus_cycles_per_line: config.dram_cycles_per_line(),
+            trcd: config.ns_to_cycles(config.dram.trcd_ns),
+            trp: config.ns_to_cycles(config.dram.trp_ns),
+            tcas: config.ns_to_cycles(config.dram.tcas_ns),
+            row_bytes: config.dram.row_buffer_bytes,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// Cycles of bus occupancy charged per 64-byte line at the configured bandwidth.
+    pub fn bus_cycles_per_line(&self) -> u64 {
+        self.bus_cycles_per_line
+    }
+
+    /// Issues a request for the line containing `addr` at `request_cycle` and returns the
+    /// cycle at which its data transfer completes.
+    pub fn access(&mut self, addr: u64, request_cycle: u64, kind: DramRequestKind) -> u64 {
+        let nbanks = self.banks.len() as u64;
+        let row = addr / self.row_bytes;
+        let bank_idx = (row % nbanks) as usize;
+        let bank = &mut self.banks[bank_idx];
+
+        let start = request_cycle.max(bank.next_free);
+        let (array_latency, row_hit) = match bank.open_row {
+            Some(open) if open == row => (self.tcas, true),
+            Some(_) => (self.trp + self.trcd + self.tcas, false),
+            None => (self.trcd + self.tcas, false),
+        };
+        bank.open_row = Some(row);
+
+        let data_ready = start + array_latency;
+        let bus_start = data_ready.max(self.bus_next_free);
+        let done = bus_start + self.bus_cycles_per_line;
+        self.bus_next_free = done;
+        bank.next_free = data_ready.max(start + self.tcas);
+
+        self.stats.total_requests += 1;
+        self.stats.bus_busy_cycles += self.bus_cycles_per_line;
+        if row_hit {
+            self.stats.row_hits += 1;
+        } else {
+            self.stats.row_misses += 1;
+        }
+        match kind {
+            DramRequestKind::Demand => {
+                self.stats.demand_requests += 1;
+                self.stats.demand_latency_sum += done - request_cycle;
+            }
+            DramRequestKind::Prefetch => self.stats.prefetch_requests += 1,
+            DramRequestKind::Ocp => self.stats.ocp_requests += 1,
+            DramRequestKind::Writeback => self.stats.writeback_requests += 1,
+        }
+        done
+    }
+
+    /// Returns the cycle at which the data bus next becomes free. Used by the hierarchy for
+    /// bandwidth-usage telemetry.
+    pub fn bus_next_free(&self) -> u64 {
+        self.bus_next_free
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Takes a snapshot of the statistics (used for per-epoch deltas).
+    pub fn stats_snapshot(&self) -> DramStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram_at(gbps: f64) -> Dram {
+        let cfg = SimConfig::golden_cove_like().with_bandwidth(gbps);
+        Dram::new(&cfg)
+    }
+
+    #[test]
+    fn single_access_latency_includes_array_and_bus() {
+        let mut d = dram_at(3.2);
+        let done = d.access(0x10_0000, 100, DramRequestKind::Demand);
+        // First access: tRCD + tCAS = 100 cycles, plus 80 cycles of bus occupancy.
+        assert_eq!(done, 100 + 100 + 80);
+        assert_eq!(d.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn row_hit_is_cheaper_than_row_conflict() {
+        let mut d = dram_at(12.8);
+        let first = d.access(0x10_0000, 0, DramRequestKind::Demand);
+        // Same row again.
+        let second = d.access(0x10_0040, first, DramRequestKind::Demand);
+        // Different row, same bank (stride by row_bytes * banks).
+        let third = d.access(0x10_0000 + 2048 * 8, second, DramRequestKind::Demand);
+        let hit_latency = second - first;
+        let conflict_latency = third - second;
+        assert!(hit_latency < conflict_latency);
+        assert_eq!(d.stats().row_hits, 1);
+        assert_eq!(d.stats().row_misses, 2);
+    }
+
+    #[test]
+    fn bus_serialises_concurrent_requests() {
+        let mut d = dram_at(3.2);
+        // Ten requests all issued at cycle 0 to different banks: the bus forces them to
+        // complete at least 80 cycles apart.
+        let mut completions: Vec<u64> = (0..10u64)
+            .map(|i| d.access(i * 2048, 0, DramRequestKind::Demand))
+            .collect();
+        completions.sort_unstable();
+        for pair in completions.windows(2) {
+            assert!(pair[1] - pair[0] >= 80, "bus did not serialise: {:?}", pair);
+        }
+    }
+
+    #[test]
+    fn higher_bandwidth_drains_queue_faster() {
+        let mut slow = dram_at(1.6);
+        let mut fast = dram_at(12.8);
+        let slow_done = (0..20u64)
+            .map(|i| slow.access(i * 4096, 0, DramRequestKind::Demand))
+            .max()
+            .unwrap();
+        let fast_done = (0..20u64)
+            .map(|i| fast.access(i * 4096, 0, DramRequestKind::Demand))
+            .max()
+            .unwrap();
+        assert!(fast_done * 2 < slow_done);
+    }
+
+    #[test]
+    fn request_kind_accounting() {
+        let mut d = dram_at(3.2);
+        d.access(0, 0, DramRequestKind::Demand);
+        d.access(4096, 0, DramRequestKind::Prefetch);
+        d.access(8192, 0, DramRequestKind::Ocp);
+        d.access(12288, 0, DramRequestKind::Writeback);
+        let s = d.stats();
+        assert_eq!(s.total_requests, 4);
+        assert_eq!(s.demand_requests, 1);
+        assert_eq!(s.prefetch_requests, 1);
+        assert_eq!(s.ocp_requests, 1);
+        assert_eq!(s.writeback_requests, 1);
+        assert_eq!(s.bus_busy_cycles, 4 * 80);
+    }
+
+    #[test]
+    fn completion_never_precedes_request() {
+        let mut d = dram_at(6.4);
+        for i in 0..100u64 {
+            let req_cycle = i * 7;
+            let done = d.access(i * 64, req_cycle, DramRequestKind::Demand);
+            assert!(done > req_cycle);
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Simulation statistics: per-epoch telemetry ([`EpochStats`]) and whole-run aggregates
+//! ([`SimStats`]).
+//!
+//! `EpochStats` is the state-feature source for coordination policies: it carries exactly the
+//! measurements listed in Table 1 of the paper (prefetcher accuracy, OCP accuracy, bandwidth
+//! usage, prefetch-induced cache pollution, and the per-mechanism shares of DRAM traffic)
+//! plus the reward constituents of Table 2 (cycles, LLC misses, LLC miss latency, load count,
+//! mispredicted branches).
+
+use serde::{Deserialize, Serialize};
+
+/// Telemetry collected over one coordination epoch (a fixed number of retired instructions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch sequence number (0-based).
+    pub epoch_index: u64,
+    /// Instructions retired in this epoch.
+    pub instructions: u64,
+    /// Cycles elapsed during this epoch.
+    pub cycles: u64,
+    /// Load instructions retired.
+    pub loads: u64,
+    /// Store instructions retired.
+    pub stores: u64,
+    /// Conditional branches retired.
+    pub branches: u64,
+    /// Mispredicted conditional branches.
+    pub branch_mispredicts: u64,
+
+    /// L1D demand misses.
+    pub l1d_misses: u64,
+    /// L2C demand misses.
+    pub l2c_misses: u64,
+    /// LLC demand misses (loads and stores that went off-chip).
+    pub llc_misses: u64,
+    /// Sum of load latencies for LLC-missing loads (cycles), for average miss latency.
+    pub llc_miss_latency_sum: u64,
+
+    /// Prefetch requests issued (after coordinator filtering), across all prefetchers.
+    pub prefetches_issued: u64,
+    /// Prefetch fills that were later demanded (first use of a prefetched line).
+    pub prefetches_useful: u64,
+    /// Prefetch fills performed from off-chip main memory.
+    pub prefetch_fills_from_dram: u64,
+    /// Demand misses whose line had been evicted by a prefetch fill (cache pollution).
+    pub pollution_misses: u64,
+
+    /// Off-chip predictions made (speculative requests issued).
+    pub ocp_predictions: u64,
+    /// Off-chip predictions that were correct (the load did go off-chip).
+    pub ocp_correct: u64,
+
+    /// DRAM requests issued by demands during this epoch.
+    pub dram_demand_requests: u64,
+    /// DRAM requests issued by prefetchers during this epoch.
+    pub dram_prefetch_requests: u64,
+    /// DRAM requests issued by the OCP during this epoch (includes wasted speculation).
+    pub dram_ocp_requests: u64,
+    /// DRAM writeback requests during this epoch.
+    pub dram_writeback_requests: u64,
+    /// Cycles the DRAM data bus was busy during this epoch.
+    pub dram_busy_cycles: u64,
+}
+
+impl EpochStats {
+    /// Prefetcher accuracy: useful prefetches over issued prefetches (Table 1).
+    pub fn prefetcher_accuracy(&self) -> f64 {
+        ratio(self.prefetches_useful, self.prefetches_issued)
+    }
+
+    /// OCP accuracy: correct off-chip predictions over total off-chip predictions (Table 1).
+    pub fn ocp_accuracy(&self) -> f64 {
+        ratio(self.ocp_correct, self.ocp_predictions)
+    }
+
+    /// Main-memory bandwidth usage: busy bus cycles over elapsed cycles (Table 1).
+    pub fn bandwidth_usage(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            (self.dram_busy_cycles as f64 / self.cycles as f64).min(1.0)
+        }
+    }
+
+    /// Prefetch-induced cache pollution: prefetch-evicted demand misses over demand misses
+    /// (Table 1).
+    pub fn cache_pollution(&self) -> f64 {
+        ratio(self.pollution_misses, self.llc_misses)
+    }
+
+    /// Total DRAM requests issued during this epoch.
+    pub fn dram_total_requests(&self) -> u64 {
+        self.dram_demand_requests
+            + self.dram_prefetch_requests
+            + self.dram_ocp_requests
+            + self.dram_writeback_requests
+    }
+
+    /// Prefetcher share of DRAM traffic (Table 1).
+    pub fn prefetch_bandwidth_share(&self) -> f64 {
+        ratio(self.dram_prefetch_requests, self.dram_total_requests())
+    }
+
+    /// OCP share of DRAM traffic (Table 1).
+    pub fn ocp_bandwidth_share(&self) -> f64 {
+        ratio(self.dram_ocp_requests, self.dram_total_requests())
+    }
+
+    /// Demand share of DRAM traffic (Table 1).
+    pub fn demand_bandwidth_share(&self) -> f64 {
+        ratio(self.dram_demand_requests, self.dram_total_requests())
+    }
+
+    /// Instructions per cycle during this epoch.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average latency of loads that missed the LLC, in cycles.
+    pub fn avg_llc_miss_latency(&self) -> f64 {
+        ratio_f(self.llc_miss_latency_sum, self.llc_misses)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        (num as f64 / den as f64).min(1.0)
+    }
+}
+
+fn ratio_f(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Whole-run aggregate statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Total instructions retired.
+    pub instructions: u64,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Total loads.
+    pub loads: u64,
+    /// Total stores.
+    pub stores: u64,
+    /// Total branches.
+    pub branches: u64,
+    /// Total mispredicted branches.
+    pub branch_mispredicts: u64,
+    /// Total L1D misses.
+    pub l1d_misses: u64,
+    /// Total L2C misses.
+    pub l2c_misses: u64,
+    /// Total LLC misses.
+    pub llc_misses: u64,
+    /// Sum of latencies of LLC-missing loads.
+    pub llc_miss_latency_sum: u64,
+    /// Total prefetches issued.
+    pub prefetches_issued: u64,
+    /// Total useful prefetches.
+    pub prefetches_useful: u64,
+    /// Total prefetch fills served from DRAM.
+    pub prefetch_fills_from_dram: u64,
+    /// Prefetch fills from DRAM that were never used before eviction.
+    pub prefetch_fills_from_dram_unused: u64,
+    /// Total pollution misses.
+    pub pollution_misses: u64,
+    /// Total off-chip predictions.
+    pub ocp_predictions: u64,
+    /// Total correct off-chip predictions.
+    pub ocp_correct: u64,
+    /// Total DRAM requests (all kinds).
+    pub dram_total_requests: u64,
+    /// Total DRAM demand requests.
+    pub dram_demand_requests: u64,
+    /// Total DRAM prefetch requests.
+    pub dram_prefetch_requests: u64,
+    /// Total DRAM OCP requests.
+    pub dram_ocp_requests: u64,
+    /// Epoch count.
+    pub epochs: u64,
+}
+
+impl SimStats {
+    /// Accumulates one epoch's telemetry into the run totals.
+    pub fn absorb_epoch(&mut self, e: &EpochStats) {
+        self.instructions += e.instructions;
+        self.cycles += e.cycles;
+        self.loads += e.loads;
+        self.stores += e.stores;
+        self.branches += e.branches;
+        self.branch_mispredicts += e.branch_mispredicts;
+        self.l1d_misses += e.l1d_misses;
+        self.l2c_misses += e.l2c_misses;
+        self.llc_misses += e.llc_misses;
+        self.llc_miss_latency_sum += e.llc_miss_latency_sum;
+        self.prefetches_issued += e.prefetches_issued;
+        self.prefetches_useful += e.prefetches_useful;
+        self.prefetch_fills_from_dram += e.prefetch_fills_from_dram;
+        self.pollution_misses += e.pollution_misses;
+        self.ocp_predictions += e.ocp_predictions;
+        self.ocp_correct += e.ocp_correct;
+        self.dram_total_requests += e.dram_total_requests();
+        self.dram_demand_requests += e.dram_demand_requests;
+        self.dram_prefetch_requests += e.dram_prefetch_requests;
+        self.dram_ocp_requests += e.dram_ocp_requests;
+        self.epochs += 1;
+    }
+
+    /// Whole-run instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// LLC misses per kilo-instruction.
+    pub fn llc_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.llc_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Whole-run prefetcher accuracy.
+    pub fn prefetcher_accuracy(&self) -> f64 {
+        ratio(self.prefetches_useful, self.prefetches_issued)
+    }
+
+    /// Whole-run OCP accuracy.
+    pub fn ocp_accuracy(&self) -> f64 {
+        ratio(self.ocp_correct, self.ocp_predictions)
+    }
+
+    /// Average LLC miss latency over the whole run.
+    pub fn avg_llc_miss_latency(&self) -> f64 {
+        ratio_f(self.llc_miss_latency_sum, self.llc_misses)
+    }
+
+    /// Fraction of DRAM prefetch fills that were never used (Figure 3's metric).
+    pub fn offchip_prefetch_inaccuracy(&self) -> f64 {
+        ratio(
+            self.prefetch_fills_from_dram_unused,
+            self.prefetch_fills_from_dram,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_epoch() -> EpochStats {
+        EpochStats {
+            epoch_index: 3,
+            instructions: 2048,
+            cycles: 4096,
+            loads: 512,
+            stores: 128,
+            branches: 256,
+            branch_mispredicts: 16,
+            l1d_misses: 100,
+            l2c_misses: 60,
+            llc_misses: 40,
+            llc_miss_latency_sum: 8000,
+            prefetches_issued: 50,
+            prefetches_useful: 30,
+            prefetch_fills_from_dram: 45,
+            pollution_misses: 10,
+            ocp_predictions: 40,
+            ocp_correct: 36,
+            dram_demand_requests: 40,
+            dram_prefetch_requests: 45,
+            dram_ocp_requests: 5,
+            dram_writeback_requests: 10,
+            dram_busy_cycles: 2048,
+        }
+    }
+
+    #[test]
+    fn table1_feature_formulas() {
+        let e = sample_epoch();
+        assert!((e.prefetcher_accuracy() - 0.6).abs() < 1e-12);
+        assert!((e.ocp_accuracy() - 0.9).abs() < 1e-12);
+        assert!((e.bandwidth_usage() - 0.5).abs() < 1e-12);
+        assert!((e.cache_pollution() - 0.25).abs() < 1e-12);
+        assert_eq!(e.dram_total_requests(), 100);
+        assert!((e.prefetch_bandwidth_share() - 0.45).abs() < 1e-12);
+        assert!((e.ocp_bandwidth_share() - 0.05).abs() < 1e-12);
+        assert!((e.demand_bandwidth_share() - 0.40).abs() < 1e-12);
+        assert!((e.ipc() - 0.5).abs() < 1e-12);
+        assert!((e.avg_llc_miss_latency() - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratios_are_zero_when_denominator_is_zero() {
+        let e = EpochStats::default();
+        assert_eq!(e.prefetcher_accuracy(), 0.0);
+        assert_eq!(e.ocp_accuracy(), 0.0);
+        assert_eq!(e.bandwidth_usage(), 0.0);
+        assert_eq!(e.cache_pollution(), 0.0);
+        assert_eq!(e.ipc(), 0.0);
+        assert_eq!(e.avg_llc_miss_latency(), 0.0);
+    }
+
+    #[test]
+    fn sim_stats_absorbs_epochs() {
+        let mut s = SimStats::default();
+        let e = sample_epoch();
+        s.absorb_epoch(&e);
+        s.absorb_epoch(&e);
+        assert_eq!(s.instructions, 4096);
+        assert_eq!(s.cycles, 8192);
+        assert_eq!(s.epochs, 2);
+        assert_eq!(s.llc_misses, 80);
+        assert_eq!(s.dram_total_requests, 200);
+        assert!((s.ipc() - 0.5).abs() < 1e-12);
+        assert!((s.llc_mpki() - 80.0 * 1000.0 / 4096.0).abs() < 1e-9);
+        assert!((s.prefetcher_accuracy() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_usage_saturates_at_one() {
+        let e = EpochStats {
+            cycles: 10,
+            dram_busy_cycles: 100,
+            ..Default::default()
+        };
+        assert_eq!(e.bandwidth_usage(), 1.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # athena-workloads
+//!
+//! The synthetic workload suite that stands in for the paper's 100 memory-intensive traces
+//! (SPEC CPU 2006/2017, PARSEC, Ligra and CVP), plus the 20 held-out tuning workloads, the
+//! multi-core mixes and the "unseen" Google-like traces of the paper's Appendix B.3.
+//!
+//! Each [`WorkloadSpec`] is a seeded generator, so traces are cheap to produce, fully
+//! deterministic, and effectively infinite (multi-core runs replay them as needed). The
+//! access-pattern classes are chosen to reproduce the paper's workload dichotomy:
+//!
+//! * **prefetcher-friendly** patterns (streams, strides, spatial footprints, stencils) where
+//!   an aggressive prefetcher hides most of the memory latency;
+//! * **prefetcher-adverse** patterns (pointer chasing, hash probing, deceptive short bursts)
+//!   where prefetches are mostly wasted bandwidth and pollution, yet whether a load goes
+//!   off-chip is highly predictable — exactly the regime where an off-chip predictor shines.
+//!
+//! ```
+//! use athena_workloads::{all_workloads, Suite};
+//! use athena_sim::TraceSource;
+//!
+//! let specs = all_workloads();
+//! assert_eq!(specs.len(), 100);
+//! let mut trace = specs[0].trace();
+//! assert!(trace.next_record().is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generator;
+mod mixes;
+mod suite;
+
+pub use generator::{Pattern, TraceGenerator};
+pub use mixes::{mixes, MixCategory, WorkloadMix};
+pub use suite::{
+    all_workloads, google_like_workloads, suite_workloads, tuning_workloads, Suite, WorkloadSpec,
+};

@@ -1,0 +1,110 @@
+//! Multi-core workload mixes (§6.1 of the paper): 30 prefetcher-adverse, 30
+//! prefetcher-friendly and 30 random mixes for each core count.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::suite::{all_workloads, WorkloadSpec};
+
+/// The category a multi-core mix was drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MixCategory {
+    /// Every workload drawn from the designed-prefetcher-adverse pool.
+    PrefetcherAdverse,
+    /// Every workload drawn from the designed-prefetcher-friendly pool.
+    PrefetcherFriendly,
+    /// Workloads drawn uniformly at random from all 100.
+    Random,
+}
+
+impl std::fmt::Display for MixCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MixCategory::PrefetcherAdverse => write!(f, "prefetcher-adverse"),
+            MixCategory::PrefetcherFriendly => write!(f, "prefetcher-friendly"),
+            MixCategory::Random => write!(f, "random"),
+        }
+    }
+}
+
+/// One multi-core mix: a category label and one workload per core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadMix {
+    /// The mix's category.
+    pub category: MixCategory,
+    /// Mix name (e.g. `mix4-adverse-07`).
+    pub name: String,
+    /// One workload per core.
+    pub workloads: Vec<WorkloadSpec>,
+}
+
+/// Builds the multi-core mixes for `cores` cores: `per_category` mixes of each category
+/// (the paper uses 30). Selection is deterministic in `seed`.
+pub fn mixes(cores: usize, per_category: usize, seed: u64) -> Vec<WorkloadMix> {
+    let all = all_workloads();
+    let adverse: Vec<&WorkloadSpec> = all.iter().filter(|w| !w.designed_friendly).collect();
+    let friendly: Vec<&WorkloadSpec> = all.iter().filter(|w| w.designed_friendly).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4d49_5845);
+    let mut out = Vec::with_capacity(per_category * 3);
+
+    let mut build = |category: MixCategory, pool: &[&WorkloadSpec], tag: &str| {
+        for m in 0..per_category {
+            let workloads: Vec<WorkloadSpec> = (0..cores)
+                .map(|_| pool[rng.gen_range(0..pool.len())].clone())
+                .collect();
+            out.push(WorkloadMix {
+                category,
+                name: format!("mix{cores}-{tag}-{m:02}"),
+                workloads,
+            });
+        }
+    };
+    build(MixCategory::PrefetcherAdverse, &adverse, "adverse");
+    build(MixCategory::PrefetcherFriendly, &friendly, "friendly");
+    let all_refs: Vec<&WorkloadSpec> = all.iter().collect();
+    build(MixCategory::Random, &all_refs, "random");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mix_counts_and_shapes() {
+        let m4 = mixes(4, 30, 1);
+        assert_eq!(m4.len(), 90);
+        assert!(m4.iter().all(|m| m.workloads.len() == 4));
+        let m8 = mixes(8, 30, 1);
+        assert_eq!(m8.len(), 90);
+        assert!(m8.iter().all(|m| m.workloads.len() == 8));
+    }
+
+    #[test]
+    fn category_pools_are_respected() {
+        for mix in mixes(4, 10, 2) {
+            match mix.category {
+                MixCategory::PrefetcherAdverse => {
+                    assert!(mix.workloads.iter().all(|w| !w.designed_friendly))
+                }
+                MixCategory::PrefetcherFriendly => {
+                    assert!(mix.workloads.iter().all(|w| w.designed_friendly))
+                }
+                MixCategory::Random => {}
+            }
+        }
+    }
+
+    #[test]
+    fn mixes_are_deterministic_in_the_seed() {
+        assert_eq!(mixes(4, 5, 7), mixes(4, 5, 7));
+        assert_ne!(mixes(4, 5, 7), mixes(4, 5, 8));
+    }
+
+    #[test]
+    fn mix_names_are_unique() {
+        let m = mixes(8, 30, 3);
+        let names: std::collections::HashSet<_> = m.iter().map(|x| x.name.clone()).collect();
+        assert_eq!(names.len(), m.len());
+    }
+}

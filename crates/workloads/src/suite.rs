@@ -1,0 +1,399 @@
+//! The workload suite: 100 evaluation workloads across four suites, 20 held-out tuning
+//! workloads, and the "unseen" Google-like traces of Appendix B.3.
+
+use crate::generator::{Pattern, TraceGenerator};
+
+/// The benchmark suite a workload belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC CPU 2006 / 2017 (49 traces, reported together as "SPEC" in the paper).
+    Spec,
+    /// PARSEC (13 traces).
+    Parsec,
+    /// Ligra graph workloads (13 traces).
+    Ligra,
+    /// CVP-1 (value-prediction championship) commercial traces (25 traces).
+    Cvp,
+    /// DPC-4 Google warehouse-scale traces, used only for the unseen-workload study.
+    GoogleLike,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Suite::Spec => write!(f, "SPEC"),
+            Suite::Parsec => write!(f, "PARSEC"),
+            Suite::Ligra => write!(f, "Ligra"),
+            Suite::Cvp => write!(f, "CVP"),
+            Suite::GoogleLike => write!(f, "Google"),
+        }
+    }
+}
+
+/// One workload: a named, seeded trace generator with its suite label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Trace name (mirrors the style of the paper's trace names).
+    pub name: String,
+    /// The suite the workload belongs to.
+    pub suite: Suite,
+    /// The access-pattern class and parameters of the generator.
+    pub pattern: Pattern,
+    /// Seed of the generator.
+    pub seed: u64,
+    /// Whether the pattern was *designed* to be prefetcher-friendly. This is a construction
+    /// hint only; experiments classify workloads empirically from measured speedups, like
+    /// the paper does.
+    pub designed_friendly: bool,
+}
+
+impl WorkloadSpec {
+    /// Creates the (infinite, deterministic) trace generator for this workload.
+    pub fn trace(&self) -> TraceGenerator {
+        TraceGenerator::new(self.pattern, self.seed)
+    }
+}
+
+fn spec(name: &str, pattern: Pattern, seed: u64, friendly: bool, suite: Suite) -> WorkloadSpec {
+    WorkloadSpec {
+        name: name.to_string(),
+        suite,
+        pattern,
+        seed,
+        designed_friendly: friendly,
+    }
+}
+
+/// The 100 evaluation workloads (49 SPEC, 13 PARSEC, 13 Ligra, 25 CVP).
+pub fn all_workloads() -> Vec<WorkloadSpec> {
+    let mut w = Vec::with_capacity(100);
+
+    // --- SPEC (49): 28 prefetcher-friendly, 21 prefetcher-adverse ------------------------
+    let spec_friendly_names = [
+        "410.bwaves-1963B", "433.milc-127B", "434.zeusmp-10B", "436.cactusADM-1804B",
+        "437.leslie3d-134B", "459.GemsFDTD-765B", "462.libquantum-714B", "470.lbm-1274B",
+        "481.wrf-1170B", "482.sphinx3-1100B", "603.bwaves_s-2609B", "607.cactuBSSN_s-2421B",
+        "619.lbm_s-2676B", "621.wrf_s-6673B", "627.cam4_s-490B", "628.pop2_s-17B",
+        "638.imagick_s-10316B", "644.nab_s-5853B", "649.fotonik3d_s-1176B", "654.roms_s-842B",
+        "459.GemsFDTD-1211B", "470.lbm-1216B", "433.milc-337B", "437.leslie3d-271B",
+        "410.bwaves-2097B", "603.bwaves_s-891B", "619.lbm_s-4268B", "649.fotonik3d_s-7084B",
+    ];
+    for (i, name) in spec_friendly_names.iter().enumerate() {
+        let pattern = match i % 3 {
+            0 => Pattern::Stream {
+                footprint: 32 << 20,
+                loads_per_iter: 3 + (i as u32 % 3),
+            },
+            1 => Pattern::Strided {
+                footprint: 48 << 20,
+                stride: 128 + 64 * (i as u64 % 4),
+            },
+            _ => Pattern::Spatial {
+                regions: 32_768 + 4096 * (i as u64 % 4),
+                footprint_mask: 0x3333_3333u32.rotate_left(i as u32),
+            },
+        };
+        w.push(spec(name, pattern, 1000 + i as u64, true, Suite::Spec));
+    }
+    let spec_adverse_names = [
+        "429.mcf-184B", "450.soplex-247B", "471.omnetpp-188B", "473.astar-153B",
+        "483.xalancbmk-127B", "403.gcc-17B", "445.gobmk-17B", "456.hmmer-88B",
+        "464.h264ref-57B", "605.mcf_s-1554B", "605.mcf_s-472B", "620.omnetpp_s-874B",
+        "623.xalancbmk_s-10B", "631.deepsjeng_s-928B", "641.leela_s-800B", "648.exchange2_s-1699B",
+        "657.xz_s-3167B", "602.gcc_s-734B", "429.mcf-51B", "471.omnetpp-20B", "483.xalancbmk-736B",
+    ];
+    for (i, name) in spec_adverse_names.iter().enumerate() {
+        let pattern = match i % 3 {
+            0 => Pattern::PointerChase {
+                nodes: (1 << 19) + ((i as u64) << 15),
+                burst_pct: 20 + (i as u32 % 3) * 10,
+            },
+            1 => Pattern::HashProbe {
+                footprint: 32 << 20,
+                locality_pct: 25 + (i as u32 % 4) * 10,
+            },
+            _ => Pattern::ComputeBranchy {
+                hot_bytes: 64 << 10,
+                cold_bytes: 48 << 20,
+                cold_pct: 45,
+                hard_branch_pct: 45,
+            },
+        };
+        w.push(spec(name, pattern, 2000 + i as u64, false, Suite::Spec));
+    }
+
+    // --- PARSEC (13): 9 friendly, 4 adverse -----------------------------------------------
+    let parsec = [
+        ("parsec-blackscholes-simlarge", true),
+        ("parsec-bodytrack-simlarge", true),
+        ("parsec-facesim-simlarge", true),
+        ("parsec-ferret-simlarge", true),
+        ("parsec-fluidanimate-simlarge", true),
+        ("parsec-freqmine-simlarge", true),
+        ("parsec-raytrace-simlarge", true),
+        ("parsec-streamcluster-simlarge", true),
+        ("parsec-vips-simlarge", true),
+        ("parsec-canneal-simlarge", false),
+        ("parsec-dedup-simlarge", false),
+        ("parsec-swaptions-simlarge", false),
+        ("parsec-x264-simlarge", false),
+    ];
+    for (i, (name, friendly)) in parsec.iter().enumerate() {
+        let pattern = if *friendly {
+            if i % 2 == 0 {
+                Pattern::Stream {
+                    footprint: 24 << 20,
+                    loads_per_iter: 3,
+                }
+            } else {
+                Pattern::Spatial {
+                    regions: 24_576,
+                    footprint_mask: 0x0f0f_0f0f,
+                }
+            }
+        } else {
+            Pattern::HashProbe {
+                footprint: 24 << 20,
+                locality_pct: 30,
+            }
+        };
+        w.push(spec(name, pattern, 3000 + i as u64, *friendly, Suite::Parsec));
+    }
+
+    // --- Ligra (13): 4 friendly, 9 adverse -------------------------------------------------
+    let ligra = [
+        ("ligra-BFS-24B", false),
+        ("ligra-BFSCC-24B", false),
+        ("ligra-BC-24B", false),
+        ("ligra-CF-24B", false),
+        ("ligra-Components-24B", false),
+        ("ligra-KCore-24B", false),
+        ("ligra-MIS-24B", false),
+        ("ligra-PageRankDelta-24B", false),
+        ("ligra-Triangle-24B", false),
+        ("ligra-PageRank-24B", true),
+        ("ligra-Radii-24B", true),
+        ("ligra-BellmanFord-24B", true),
+        ("ligra-CFSingle-24B", true),
+    ];
+    for (i, (name, friendly)) in ligra.iter().enumerate() {
+        let pattern = if *friendly {
+            // PageRank-style: dense sequential sweeps over vertex arrays.
+            Pattern::Stream {
+                footprint: 40 << 20,
+                loads_per_iter: 4,
+            }
+        } else {
+            Pattern::GraphFrontier {
+                vertices: (1 << 19) + ((i as u64) << 14),
+                neighbours: 2 + (i as u32 % 2),
+            }
+        };
+        w.push(spec(name, pattern, 4000 + i as u64, *friendly, Suite::Ligra));
+    }
+
+    // --- CVP (25): 13 friendly (fp), 12 adverse (int/server) -------------------------------
+    for i in 0..13u64 {
+        let name = format!("cvp-compute_fp_{}", 10 + i * 7);
+        let pattern = if i % 2 == 0 {
+            Pattern::Strided {
+                footprint: 32 << 20,
+                stride: 64 * (1 + i % 8),
+            }
+        } else {
+            Pattern::MixedPhase {
+                phase_len: 40_000,
+                stream_footprint: 32 << 20,
+                chase_nodes: 1 << 19,
+            }
+        };
+        w.push(spec(&name, pattern, 5000 + i, true, Suite::Cvp));
+    }
+    for i in 0..12u64 {
+        let name = format!("cvp-compute_int_{}", 5 + i * 11);
+        let pattern = if i % 2 == 0 {
+            Pattern::ComputeBranchy {
+                hot_bytes: 96 << 10,
+                cold_bytes: 64 << 20,
+                cold_pct: 40,
+                hard_branch_pct: 50,
+            }
+        } else {
+            Pattern::PointerChase {
+                nodes: (1 << 19) + (i << 16),
+                burst_pct: 30,
+            }
+        };
+        w.push(spec(&name, pattern, 6000 + i, false, Suite::Cvp));
+    }
+
+    assert_eq!(w.len(), 100);
+    w
+}
+
+/// The workloads of one suite, in suite order.
+pub fn suite_workloads(suite: Suite) -> Vec<WorkloadSpec> {
+    if suite == Suite::GoogleLike {
+        return google_like_workloads();
+    }
+    all_workloads()
+        .into_iter()
+        .filter(|w| w.suite == suite)
+        .collect()
+}
+
+/// The 20 held-out tuning workloads used for design-space exploration. They are disjoint
+/// from [`all_workloads`] (different names and seeds), mirroring the paper's methodology.
+pub fn tuning_workloads() -> Vec<WorkloadSpec> {
+    let mut w = Vec::with_capacity(20);
+    for i in 0..10u64 {
+        let pattern = match i % 3 {
+            0 => Pattern::Stream {
+                footprint: 28 << 20,
+                loads_per_iter: 4,
+            },
+            1 => Pattern::Strided {
+                footprint: 36 << 20,
+                stride: 192,
+            },
+            _ => Pattern::Spatial {
+                regions: 20_000,
+                footprint_mask: 0x00ff_00ff,
+            },
+        };
+        w.push(spec(
+            &format!("tune-friendly-{i}"),
+            pattern,
+            9000 + i,
+            true,
+            Suite::Spec,
+        ));
+    }
+    for i in 0..10u64 {
+        let pattern = match i % 3 {
+            0 => Pattern::PointerChase {
+                nodes: 1 << 19,
+                burst_pct: 25,
+            },
+            1 => Pattern::HashProbe {
+                footprint: 40 << 20,
+                locality_pct: 35,
+            },
+            _ => Pattern::GraphFrontier {
+                vertices: 1 << 19,
+                neighbours: 2,
+            },
+        };
+        w.push(spec(
+            &format!("tune-adverse-{i}"),
+            pattern,
+            9500 + i,
+            false,
+            Suite::Spec,
+        ));
+    }
+    w
+}
+
+/// Twelve groups of Google-warehouse-style traces (Appendix B.3's unseen-workload study),
+/// one representative workload per group.
+pub fn google_like_workloads() -> Vec<WorkloadSpec> {
+    let groups = [
+        "sierra.a.3", "sierra.a.4", "sierra.a.6", "bravo.a", "arizona", "charlie", "delta",
+        "merced", "tahoe", "tango", "whiskey", "yankee",
+    ];
+    groups
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            // Warehouse-scale code: large instruction and data footprints, frequent hash
+            // probing with some locality, moderately hard branches.
+            let pattern = if i % 3 == 2 {
+                Pattern::MixedPhase {
+                    phase_len: 30_000,
+                    stream_footprint: 24 << 20,
+                    chase_nodes: 1 << 19,
+                }
+            } else {
+                Pattern::ComputeBranchy {
+                    hot_bytes: 256 << 10,
+                    cold_bytes: 96 << 20,
+                    cold_pct: 30 + (i as u32 % 3) * 10,
+                    hard_branch_pct: 35,
+                }
+            };
+            spec(&format!("google-{g}"), pattern, 11_000 + i as u64, false, Suite::GoogleLike)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn exactly_one_hundred_workloads_with_paper_suite_counts() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 100);
+        let count = |s: Suite| all.iter().filter(|w| w.suite == s).count();
+        assert_eq!(count(Suite::Spec), 49);
+        assert_eq!(count(Suite::Parsec), 13);
+        assert_eq!(count(Suite::Ligra), 13);
+        assert_eq!(count(Suite::Cvp), 25);
+    }
+
+    #[test]
+    fn names_and_seeds_are_unique() {
+        let all = all_workloads();
+        let names: HashSet<_> = all.iter().map(|w| w.name.clone()).collect();
+        assert_eq!(names.len(), all.len());
+        let seeds: HashSet<_> = all.iter().map(|w| w.seed).collect();
+        assert_eq!(seeds.len(), all.len());
+    }
+
+    #[test]
+    fn friendly_adverse_split_is_roughly_sixty_forty() {
+        let all = all_workloads();
+        let friendly = all.iter().filter(|w| w.designed_friendly).count();
+        assert!(
+            (50..=65).contains(&friendly),
+            "designed-friendly count {friendly} should be close to the paper's 60/40 split"
+        );
+    }
+
+    #[test]
+    fn tuning_workloads_are_disjoint_from_evaluation_workloads() {
+        let eval_names: HashSet<_> = all_workloads().into_iter().map(|w| w.name).collect();
+        let tuning = tuning_workloads();
+        assert_eq!(tuning.len(), 20);
+        for t in &tuning {
+            assert!(!eval_names.contains(&t.name));
+        }
+    }
+
+    #[test]
+    fn google_workloads_have_twelve_groups() {
+        let g = google_like_workloads();
+        assert_eq!(g.len(), 12);
+        assert!(g.iter().all(|w| w.suite == Suite::GoogleLike));
+    }
+
+    #[test]
+    fn suite_filter_matches_membership() {
+        for suite in [Suite::Spec, Suite::Parsec, Suite::Ligra, Suite::Cvp] {
+            for w in suite_workloads(suite) {
+                assert_eq!(w.suite, suite);
+            }
+        }
+        assert_eq!(suite_workloads(Suite::GoogleLike).len(), 12);
+    }
+
+    #[test]
+    fn traces_are_generated_and_memory_intensive_patterns_touch_memory() {
+        for w in all_workloads().iter().take(10) {
+            let loads = w.trace().take(5000).filter(|r| r.is_load()).count();
+            assert!(loads > 50, "{}: {loads} loads in 5000 instructions", w.name);
+        }
+    }
+}

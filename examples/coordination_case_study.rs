@@ -1,0 +1,63 @@
+//! Case study (the scenario behind Figure 17): watch Athena's epoch-by-epoch decisions on a
+//! phase-alternating workload and see how the learned action mix shifts when the system's
+//! memory bandwidth changes.
+//!
+//! ```text
+//! cargo run --release --example coordination_case_study
+//! ```
+
+use athena_repro::prelude::*;
+
+fn action_of(epoch: &EpochStats) -> &'static str {
+    match (epoch.ocp_predictions > 0, epoch.prefetches_issued > 0) {
+        (false, false) => "none",
+        (true, false) => "ocp",
+        (false, true) => "prefetcher",
+        (true, true) => "both",
+    }
+}
+
+fn main() {
+    let spec = all_workloads()
+        .into_iter()
+        .find(|w| w.name == "cvp-compute_fp_17")
+        .expect("workload exists");
+    let instructions = 300_000;
+
+    for bandwidth in [3.2, 25.6] {
+        let config =
+            SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet).with_bandwidth(bandwidth);
+        let baseline = simulate(&spec, &config, CoordinatorKind::Baseline, instructions);
+        let athena = simulate(&spec, &config, CoordinatorKind::Athena, instructions);
+
+        let mut counts = std::collections::BTreeMap::new();
+        for epoch in &athena.epochs {
+            *counts.entry(action_of(epoch)).or_insert(0u64) += 1;
+        }
+        let total: u64 = counts.values().sum();
+
+        println!("=== {} at {bandwidth} GB/s ===", spec.name);
+        println!(
+            "baseline IPC {:.4}, Athena IPC {:.4} (speedup {:.3})",
+            baseline.ipc,
+            athena.ipc,
+            athena.ipc / baseline.ipc
+        );
+        println!("epoch-level mechanism usage:");
+        for (action, count) in &counts {
+            println!(
+                "  {:<12} {:>5.1}% of epochs",
+                action,
+                100.0 * *count as f64 / total as f64
+            );
+        }
+        // Show a short excerpt of the decision timeline.
+        let timeline: Vec<&str> = athena.epochs.iter().take(40).map(action_of).collect();
+        println!("first 40 epochs: {}", timeline.join(","));
+        println!();
+    }
+    println!(
+        "At 3.2 GB/s the agent should lean on the OCP and keep the prefetcher throttled; with \
+         ample bandwidth it should favour enabling both mechanisms (compare Figure 17)."
+    );
+}

@@ -1,0 +1,56 @@
+//! Quickstart: simulate one workload under the four static combinations and under Athena,
+//! and print the resulting speedups.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use athena_repro::prelude::*;
+
+fn main() {
+    // Pick a prefetcher-adverse workload: Pythia alone hurts it, POPET alone helps it.
+    let spec = all_workloads()
+        .into_iter()
+        .find(|w| w.name == "483.xalancbmk-127B")
+        .expect("workload exists");
+    // Cache design 1: POPET as the OCP, Pythia as the L2C prefetcher, 3.2 GB/s of DRAM
+    // bandwidth (the paper's bandwidth-constrained default).
+    let config = SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet);
+    let instructions = 200_000;
+
+    println!("workload: {}  ({:?})", spec.name, spec.suite);
+    println!("system:   CD1 {}", config.describe());
+    println!();
+
+    let baseline = simulate(&spec, &config, CoordinatorKind::Baseline, instructions);
+    println!(
+        "baseline (no prefetching, no OCP): IPC {:.4}, LLC MPKI {:.1}",
+        baseline.ipc,
+        baseline.stats.llc_mpki()
+    );
+
+    for policy in [
+        CoordinatorKind::OcpOnly,
+        CoordinatorKind::PrefetchersOnly,
+        CoordinatorKind::Naive,
+        CoordinatorKind::Hpac,
+        CoordinatorKind::Mab,
+        CoordinatorKind::Athena,
+    ] {
+        let name = policy.name();
+        let run = simulate(&spec, &config, policy, instructions);
+        println!(
+            "{name:<18} IPC {:.4}  speedup {:>6.3}  (prefetcher accuracy {:.2}, OCP accuracy {:.2})",
+            run.ipc,
+            run.ipc / baseline.ipc,
+            run.stats.prefetcher_accuracy(),
+            run.stats.ocp_accuracy(),
+        );
+    }
+    println!();
+    println!(
+        "Athena coordinates the two mechanisms per epoch: on this workload it should learn to \
+         keep POPET on and throttle or disable Pythia, recovering most of the slowdown the \
+         naive combination causes."
+    );
+}

@@ -1,0 +1,48 @@
+//! # athena-repro
+//!
+//! Umbrella crate for the Athena reproduction workspace. It re-exports the public APIs of
+//! every member crate so that examples and downstream users can depend on a single crate:
+//!
+//! ```
+//! use athena_repro::prelude::*;
+//!
+//! let spec = suite_workloads(Suite::Ligra)[0].clone();
+//! let config = SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet);
+//! let result = simulate(&spec, &config, CoordinatorKind::Athena, 20_000);
+//! assert!(result.cycles > 0);
+//! ```
+//!
+//! See the individual crates for full documentation:
+//!
+//! * [`sim`] — trace-driven CPU / cache / DRAM simulator substrate.
+//! * [`prefetchers`] — IPCP, Berti, Pythia, SPP+PPF, MLOP, SMS.
+//! * [`ocp`] — POPET, HMP, TTP off-chip predictors.
+//! * [`athena`] — the Athena RL coordination agent (the paper's contribution).
+//! * [`coordinators`] — Naive, HPAC, MAB, TLP baseline policies.
+//! * [`workloads`] — the 100-workload synthetic trace suite.
+//! * [`harness`] — the per-figure experiment harness and `figures` CLI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use athena_core as athena;
+pub use athena_coordinators as coordinators;
+pub use athena_harness as harness;
+pub use athena_ocp as ocp;
+pub use athena_prefetchers as prefetchers;
+pub use athena_sim as sim;
+pub use athena_workloads as workloads;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use athena_core::{AthenaAgent, AthenaConfig};
+    pub use athena_coordinators::{FixedCombo, Hpac, Mab, NaiveAll, Tlp};
+    pub use athena_harness::{
+        simulate, simulate_multicore, CoordinatorKind, OcpKind, PrefetcherKind, RunOptions,
+        RunResult, SystemConfig,
+    };
+    pub use athena_sim::{
+        Coordinator, EpochStats, OffChipPredictor, Prefetcher, SimConfig, Simulator,
+    };
+    pub use athena_workloads::{all_workloads, mixes, suite_workloads, Suite, WorkloadSpec};
+}

@@ -1,0 +1,176 @@
+//! Property-based tests (proptest) on the core data structures and simulator invariants.
+
+use proptest::prelude::*;
+
+use athena_repro::athena::{BloomFilter, CompositeReward, QvStore, RewardWeights};
+use athena_repro::sim::{
+    Cache, CacheConfig, CacheLevel, Dram, DramRequestKind, EpochStats, Replacement, SimConfig,
+    Simulator, TraceRecord,
+};
+use athena_repro::workloads::{Pattern, TraceGenerator};
+
+fn small_cache(ways: usize, sets: usize) -> Cache {
+    Cache::new(
+        CacheConfig {
+            name: "prop",
+            size_bytes: (ways * sets * 64) as u64,
+            ways,
+            latency: 4,
+            mshrs: 8,
+            replacement: Replacement::Lru,
+        },
+        CacheLevel::L1d,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cache never holds more lines than its capacity, and a line that was just filled
+    /// is always found by a probe.
+    #[test]
+    fn cache_occupancy_is_bounded_and_fills_are_visible(
+        addrs in prop::collection::vec(0u64..(1 << 20), 1..300),
+        ways in 1usize..8,
+        sets_pow in 0u32..4,
+    ) {
+        let sets = 1usize << sets_pow;
+        let mut cache = small_cache(ways, sets);
+        for (i, addr) in addrs.iter().enumerate() {
+            cache.fill(*addr, i % 3 == 0, 0x400 + (i as u64 % 16), 0);
+            prop_assert!(cache.probe(*addr), "freshly filled line must be resident");
+            prop_assert!(cache.occupancy() <= ways * sets);
+        }
+    }
+
+    /// Demand lookups after a fill hit until the line is evicted; the hit/miss counters add
+    /// up to the number of lookups.
+    #[test]
+    fn cache_counters_are_consistent(
+        addrs in prop::collection::vec(0u64..(1 << 16), 1..200),
+    ) {
+        let mut cache = small_cache(4, 4);
+        for addr in &addrs {
+            cache.lookup(*addr, 0x400);
+            cache.fill(*addr, false, 0x400, 0);
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), cache.accesses());
+        prop_assert_eq!(cache.accesses(), addrs.len() as u64);
+    }
+
+    /// Bloom filters never produce false negatives and clearing empties them.
+    #[test]
+    fn bloom_filter_has_no_false_negatives(
+        keys in prop::collection::hash_set(0u64..u64::MAX, 1..150),
+    ) {
+        let mut filter = BloomFilter::athena_sized();
+        for k in &keys {
+            filter.insert(*k);
+        }
+        for k in &keys {
+            prop_assert!(filter.contains(*k));
+        }
+        filter.clear();
+        let still_set = keys.iter().filter(|k| filter.contains(**k)).count();
+        prop_assert_eq!(still_set, 0);
+    }
+
+    /// QVStore Q-values stay within the quantisation bounds no matter what rewards are fed
+    /// in, and updates only ever touch the targeted action.
+    #[test]
+    fn qvstore_values_stay_bounded(
+        updates in prop::collection::vec(
+            (0u32..1 << 16, 0usize..4, -100.0f64..100.0),
+            1..300
+        ),
+    ) {
+        let mut store = QvStore::athena_sized();
+        // Per-plane entries are i8, so the magnitude is bounded by 128 quantisation steps.
+        let bound = 8.0 * 128.0 * 0.05 + 1e-9;
+        for (state, action, reward) in updates {
+            store.sarsa_update(state, action, reward, state, action, 0.6, 0.6);
+            let q = store.q_value(state, action);
+            prop_assert!(q.abs() <= bound, "q={q} exceeded the quantisation bound");
+        }
+    }
+
+    /// The composite reward is exactly the correlated component minus the uncorrelated one.
+    #[test]
+    fn composite_reward_decomposes(
+        prev_cycles in 1_000u64..100_000,
+        cur_cycles in 1_000u64..100_000,
+        prev_loads in 0u64..2_000,
+        cur_loads in 0u64..2_000,
+        prev_mbr in 0u64..200,
+        cur_mbr in 0u64..200,
+    ) {
+        let reward = CompositeReward::new(RewardWeights::default(), true);
+        let prev = EpochStats {
+            instructions: 2048, cycles: prev_cycles, loads: prev_loads,
+            branch_mispredicts: prev_mbr, ..Default::default()
+        };
+        let cur = EpochStats {
+            instructions: 2048, cycles: cur_cycles, loads: cur_loads,
+            branch_mispredicts: cur_mbr, ..Default::default()
+        };
+        let total = reward.reward(&prev, &cur);
+        let decomposed = reward.correlated(&prev, &cur) - reward.uncorrelated(&prev, &cur);
+        prop_assert!((total - decomposed).abs() < 1e-12);
+    }
+
+    /// DRAM completions are monotone per request issue time and respect the bus occupancy.
+    #[test]
+    fn dram_completions_respect_the_bus(
+        addrs in prop::collection::vec(0u64..(1 << 24), 2..80),
+    ) {
+        let config = SimConfig::golden_cove_like();
+        let mut dram = Dram::new(&config);
+        let mut completions = Vec::new();
+        for (i, addr) in addrs.iter().enumerate() {
+            let done = dram.access(*addr, i as u64, DramRequestKind::Demand);
+            prop_assert!(done > i as u64);
+            completions.push(done);
+        }
+        let mut sorted = completions.clone();
+        sorted.sort_unstable();
+        for pair in sorted.windows(2) {
+            prop_assert!(pair[1] - pair[0] >= config.dram_cycles_per_line());
+        }
+    }
+
+    /// Whole-run epoch accounting: epoch instructions and cycles sum to the run totals, and
+    /// IPC is strictly positive for non-empty traces.
+    #[test]
+    fn simulator_epoch_accounting_adds_up(
+        seed in 0u64..1_000,
+        n in 3_000u64..12_000,
+    ) {
+        let generator = TraceGenerator::new(
+            Pattern::HashProbe { footprint: 1 << 22, locality_pct: 30 },
+            seed,
+        );
+        let mut sim = Simulator::new(SimConfig::tiny());
+        let result = sim.run(generator, n);
+        prop_assert_eq!(result.instructions, n);
+        let epoch_instr: u64 = result.epochs.iter().map(|e| e.instructions).sum();
+        let epoch_cycles: u64 = result.epochs.iter().map(|e| e.cycles).sum();
+        prop_assert_eq!(epoch_instr, n);
+        prop_assert_eq!(epoch_cycles, result.cycles);
+        prop_assert!(result.ipc() > 0.0);
+    }
+
+    /// Trace generators are pure functions of (pattern, seed): equal seeds give equal
+    /// traces, and the generator never emits a zero-address load.
+    #[test]
+    fn trace_generation_is_deterministic_and_well_formed(seed in 0u64..10_000) {
+        let pattern = Pattern::GraphFrontier { vertices: 1 << 16, neighbours: 2 };
+        let a: Vec<TraceRecord> = TraceGenerator::new(pattern, seed).take(2_000).collect();
+        let b: Vec<TraceRecord> = TraceGenerator::new(pattern, seed).take(2_000).collect();
+        prop_assert_eq!(&a, &b);
+        for rec in &a {
+            if let Some(addr) = rec.addr() {
+                prop_assert!(addr > 0);
+            }
+        }
+    }
+}
