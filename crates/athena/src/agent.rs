@@ -1,9 +1,7 @@
 //! The Athena agent: SARSA-based coordination of prefetchers and the off-chip predictor,
 //! plus Q-value-driven prefetcher aggressiveness control (§4, §5 of the paper).
 
-use athena_sim::{
-    CoordinationDecision, Coordinator, EpochStats, PrefetcherInfo,
-};
+use athena_sim::{CoordinationDecision, Coordinator, EpochStats, PrefetcherInfo};
 
 use crate::config::AthenaConfig;
 use crate::features::FeatureVector;
@@ -240,8 +238,8 @@ impl Coordinator for AthenaAgent {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use athena_sim::CacheLevel;
     use crate::features::Feature;
+    use athena_sim::CacheLevel;
 
     fn info() -> Vec<PrefetcherInfo> {
         vec![PrefetcherInfo {
@@ -407,7 +405,10 @@ mod tests {
             );
         }
         let degree = agent.select_prefetch_degree(state, Action::EnableBoth, 4);
-        assert_eq!(degree, 4, "a large Q margin should select full aggressiveness");
+        assert_eq!(
+            degree, 4,
+            "a large Q margin should select full aggressiveness"
+        );
         // A fresh agent (no margin) should be conservative.
         let fresh = AthenaAgent::new(AthenaConfig::default());
         let d0 = fresh.select_prefetch_degree(state, Action::EnableBoth, 4);

@@ -82,7 +82,7 @@ impl Default for AthenaConfig {
             planes: 8,
             rows_per_plane: 64,
             q_step: 0.05,
-            seed: 0x41746865_6e61,
+            seed: 0x4174_6865_6e61,
         }
     }
 }

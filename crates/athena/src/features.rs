@@ -143,8 +143,10 @@ mod tests {
 
     #[test]
     fn quantisation_is_bounded_and_monotone() {
-        let mut s = EpochStats::default();
-        s.prefetches_issued = 100;
+        let mut s = EpochStats {
+            prefetches_issued: 100,
+            ..EpochStats::default()
+        };
         let mut last = 0;
         for useful in (0..=100).step_by(10) {
             s.prefetches_useful = useful;
@@ -159,10 +161,7 @@ mod tests {
     #[test]
     fn vector_packs_features_in_order() {
         let s = stats();
-        let v = FeatureVector::from_stats(
-            &[Feature::PrefetcherAccuracy, Feature::OcpAccuracy],
-            &s,
-        );
+        let v = FeatureVector::from_stats(&[Feature::PrefetcherAccuracy, Feature::OcpAccuracy], &s);
         let pa = Feature::PrefetcherAccuracy.quantise(&s);
         let oa = Feature::OcpAccuracy.quantise(&s);
         assert_eq!(v.packed(), (pa << 3) | oa);

@@ -27,7 +27,10 @@ impl QvStore {
     ///
     /// Panics if any dimension is zero or `q_step` is not positive.
     pub fn new(planes: usize, rows_per_plane: usize, actions: usize, q_step: f64) -> Self {
-        assert!(planes > 0 && rows_per_plane > 0 && actions > 0, "dimensions must be non-zero");
+        assert!(
+            planes > 0 && rows_per_plane > 0 && actions > 0,
+            "dimensions must be non-zero"
+        );
         assert!(q_step > 0.0, "q_step must be positive");
         Self {
             planes: vec![vec![vec![0; actions]; rows_per_plane]; planes],
@@ -112,6 +115,9 @@ impl QvStore {
     /// Applies the SARSA update
     /// `Q(s,a) ← Q(s,a) + α [r + γ Q(s',a') − Q(s,a)]`
     /// distributing the correction equally across planes (§5.1).
+    // The SARSA transition (s, a, r, s', a') plus the two learning rates is inherently
+    // seven values; bundling them into a struct would only obscure the textbook form.
+    #[allow(clippy::too_many_arguments)]
     pub fn sarsa_update(
         &mut self,
         state: u32,

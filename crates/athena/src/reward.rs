@@ -46,8 +46,7 @@ impl CompositeReward {
             - Self::per_instr(current.cycles, current.instructions);
         let d_llc_misses = Self::per_instr(prev.llc_misses, prev.instructions)
             - Self::per_instr(current.llc_misses, current.instructions);
-        let d_llc_latency =
-            (prev.avg_llc_miss_latency() - current.avg_llc_miss_latency()) / 100.0;
+        let d_llc_latency = (prev.avg_llc_miss_latency() - current.avg_llc_miss_latency()) / 100.0;
         self.weights.lambda_cycle * d_cycles
             + self.weights.lambda_llc_misses * d_llc_misses
             + self.weights.lambda_llc_miss_latency * d_llc_latency

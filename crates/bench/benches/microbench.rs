@@ -58,7 +58,15 @@ fn qvstore_bench(c: &mut Criterion) {
         let mut state = 0u32;
         b.iter(|| {
             state = state.wrapping_add(0x9e37);
-            store.sarsa_update(state, (state % 4) as usize, 0.25, state ^ 0x5555, 1, 0.6, 0.6);
+            store.sarsa_update(
+                state,
+                (state % 4) as usize,
+                0.25,
+                state ^ 0x5555,
+                1,
+                0.6,
+                0.6,
+            );
             std::hint::black_box(store.updates())
         })
     });
@@ -111,8 +119,14 @@ fn simulation_bench(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
     group.throughput(Throughput::Elements(20_000));
     let specs = all_workloads();
-    let friendly = specs.iter().find(|w| w.name == "462.libquantum-714B").unwrap();
-    let adverse = specs.iter().find(|w| w.name == "483.xalancbmk-127B").unwrap();
+    let friendly = specs
+        .iter()
+        .find(|w| w.name == "462.libquantum-714B")
+        .unwrap();
+    let adverse = specs
+        .iter()
+        .find(|w| w.name == "483.xalancbmk-127B")
+        .unwrap();
     let config = SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet);
     for (label, spec) in [("friendly_20k", friendly), ("adverse_20k", adverse)] {
         group.bench_function(format!("athena_cd1_{label}"), |b| {

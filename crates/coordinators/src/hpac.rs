@@ -88,11 +88,7 @@ impl Coordinator for Hpac {
     fn attach(&mut self, prefetchers: &[PrefetcherInfo]) {
         self.max_degrees = prefetchers.iter().map(|p| p.max_degree).collect();
         // Start in the middle of the aggressiveness ladder.
-        self.levels = self
-            .max_degrees
-            .iter()
-            .map(|&m| (m / 2).max(1))
-            .collect();
+        self.levels = self.max_degrees.iter().map(|&m| (m / 2).max(1)).collect();
     }
 
     fn on_epoch_end(&mut self, stats: &EpochStats) -> CoordinationDecision {

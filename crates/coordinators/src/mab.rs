@@ -174,7 +174,10 @@ mod tests {
             d = m.on_epoch_end(&epoch_with_ipc(1.0));
             let _ = &d;
         }
-        assert!(seen.len() >= 4, "all four arms should be explored: {seen:?}");
+        assert!(
+            seen.len() >= 4,
+            "all four arms should be explored: {seen:?}"
+        );
     }
 
     #[test]

@@ -8,9 +8,7 @@
 //! inflexibility the Athena paper highlights: TLP has no control over prefetchers beyond the
 //! L1D (§2.1.3).
 
-use athena_sim::{
-    CoordinationDecision, Coordinator, EpochStats, PrefetchRequest, PrefetcherInfo,
-};
+use athena_sim::{CoordinationDecision, Coordinator, EpochStats, PrefetchRequest, PrefetcherInfo};
 
 /// The TLP coordination policy.
 #[derive(Debug, Clone)]

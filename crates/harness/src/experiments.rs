@@ -14,7 +14,9 @@
 use std::collections::HashMap;
 
 use athena_core::{AthenaConfig, Feature, RewardWeights};
-use athena_workloads::{all_workloads, google_like_workloads, mixes, tuning_workloads, MixCategory, Suite, WorkloadSpec};
+use athena_workloads::{
+    all_workloads, google_like_workloads, mixes, tuning_workloads, MixCategory, Suite, WorkloadSpec,
+};
 
 use crate::run::default_athena_config;
 use crate::{
@@ -81,11 +83,7 @@ struct Sweep {
 }
 
 impl Sweep {
-    fn run(
-        config: &SystemConfig,
-        policies: &[(&str, CoordinatorKind)],
-        opts: RunOptions,
-    ) -> Self {
+    fn run(config: &SystemConfig, policies: &[(&str, CoordinatorKind)], opts: RunOptions) -> Self {
         Self::run_on(workload_set(opts), config, policies, opts)
     }
 
@@ -103,7 +101,14 @@ impl Sweep {
         // Classification run: prefetchers only.
         let classify: Vec<RunResult> = specs
             .iter()
-            .map(|s| simulate(s, config, CoordinatorKind::PrefetchersOnly, opts.instructions))
+            .map(|s| {
+                simulate(
+                    s,
+                    config,
+                    CoordinatorKind::PrefetchersOnly,
+                    opts.instructions,
+                )
+            })
             .collect();
         let adverse_idx: Vec<usize> = classify
             .iter()
@@ -310,13 +315,21 @@ pub fn fig3(opts: RunOptions) -> ExperimentTable {
         vec!["mean".into(), "q1".into(), "median".into(), "q3".into()],
     );
     for (label, config) in [
-        ("ipcp@L1D", SystemConfig::cd2(PrefetcherKind::Ipcp, OcpKind::Popet)),
+        (
+            "ipcp@L1D",
+            SystemConfig::cd2(PrefetcherKind::Ipcp, OcpKind::Popet),
+        ),
         ("pythia@L2C", cd1()),
     ] {
         let mut fractions: Vec<f64> = specs
             .iter()
             .map(|s| {
-                let r = simulate(s, &config, CoordinatorKind::PrefetchersOnly, opts.instructions);
+                let r = simulate(
+                    s,
+                    &config,
+                    CoordinatorKind::PrefetchersOnly,
+                    opts.instructions,
+                );
                 r.stats.offchip_prefetch_inaccuracy()
             })
             .collect();
@@ -574,12 +587,7 @@ pub fn fig12b(opts: RunOptions) -> ExperimentTable {
 pub fn fig12c(opts: RunOptions) -> ExperimentTable {
     let configs = [6u64, 18, 30]
         .iter()
-        .map(|lat| {
-            (
-                format!("{lat}-cycles"),
-                cd1().with_ocp_issue_latency(*lat),
-            )
-        })
+        .map(|lat| (format!("{lat}-cycles"), cd1().with_ocp_issue_latency(*lat)))
         .collect();
     overall_sweep_table(
         "Figure 12c: sensitivity to the OCP request issue latency (CD1, overall geomean)",
@@ -620,7 +628,15 @@ pub fn fig14(opts: RunOptions) -> ExperimentTable {
         "Figure 14: sensitivity to main-memory bandwidth (CD4, overall geomean)",
         configs,
         &cache_design_policies(true),
-        &["ocp-only", "prefetchers-only", "naive", "tlp", "hpac", "mab", "athena"],
+        &[
+            "ocp-only",
+            "prefetchers-only",
+            "naive",
+            "tlp",
+            "hpac",
+            "mab",
+            "athena",
+        ],
         opts,
     )
 }
@@ -730,7 +746,12 @@ pub fn fig17(opts: RunOptions) -> ExperimentTable {
         let config = cd1().with_bandwidth(bw);
         let base = simulate(&spec, &config, CoordinatorKind::Baseline, opts.instructions);
         let ocp = simulate(&spec, &config, CoordinatorKind::OcpOnly, opts.instructions);
-        let pf = simulate(&spec, &config, CoordinatorKind::PrefetchersOnly, opts.instructions);
+        let pf = simulate(
+            &spec,
+            &config,
+            CoordinatorKind::PrefetchersOnly,
+            opts.instructions,
+        );
         let naive = simulate(&spec, &config, CoordinatorKind::Naive, opts.instructions);
         let athena = simulate(&spec, &config, CoordinatorKind::Athena, opts.instructions);
         // Reconstruct the action distribution from epoch telemetry: which mechanisms were
@@ -975,7 +996,10 @@ pub fn tab3_dse(opts: RunOptions) -> ExperimentTable {
                 r.ipc / b.ipc.max(1e-12)
             })
             .collect();
-        table.push_row(format!("alpha={alpha}, gamma={gamma}"), vec![geomean(&speedups)]);
+        table.push_row(
+            format!("alpha={alpha}, gamma={gamma}"),
+            vec![geomean(&speedups)],
+        );
     }
     table
 }
@@ -989,8 +1013,14 @@ pub fn tab4_storage(_opts: RunOptions) -> ExperimentTable {
         vec!["bytes".into()],
     );
     table.push_row("qvstore", vec![overhead.qvstore_bytes as f64]);
-    table.push_row("accuracy-tracker", vec![overhead.accuracy_tracker_bytes as f64]);
-    table.push_row("pollution-tracker", vec![overhead.pollution_tracker_bytes as f64]);
+    table.push_row(
+        "accuracy-tracker",
+        vec![overhead.accuracy_tracker_bytes as f64],
+    );
+    table.push_row(
+        "pollution-tracker",
+        vec![overhead.pollution_tracker_bytes as f64],
+    );
     table.push_row("total", vec![overhead.total_bytes() as f64]);
     table
 }

@@ -32,8 +32,8 @@ mod run;
 mod table;
 
 pub use run::{
-    simulate, simulate_multicore, CoordinatorKind, OcpKind, PrefetcherKind, RunOptions,
-    RunResult, SystemConfig,
+    simulate, simulate_multicore, CoordinatorKind, OcpKind, PrefetcherKind, RunOptions, RunResult,
+    SystemConfig,
 };
 pub use table::ExperimentTable;
 

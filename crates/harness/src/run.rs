@@ -1,8 +1,8 @@
 //! System configurations (cache designs CD1–CD4), mechanism registries and the single-run
 //! entry points.
 
-use athena_core::{AthenaAgent, AthenaConfig};
 use athena_coordinators::{FixedCombo, Hpac, Mab, NaiveAll, Tlp};
+use athena_core::{AthenaAgent, AthenaConfig};
 use athena_ocp::{Hmp, Popet, Ttp};
 use athena_prefetchers::{Berti, Ipcp, Mlop, NextLine, Pythia, Sms, SppPpf, StridePrefetcher};
 use athena_sim::{
@@ -168,9 +168,10 @@ impl CoordinatorKind {
 /// exploration rate is needed to visit all four actions. The deviation is recorded in
 /// DESIGN.md and EXPERIMENTS.md.
 pub fn default_athena_config() -> AthenaConfig {
-    let mut cfg = AthenaConfig::default();
-    cfg.epsilon = 0.05;
-    cfg
+    AthenaConfig {
+        epsilon: 0.05,
+        ..AthenaConfig::default()
+    }
 }
 
 /// A full single-core system configuration: cache design plus mechanism choices.

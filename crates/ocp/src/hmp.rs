@@ -118,8 +118,7 @@ impl OffChipPredictor for Hmp {
     fn train(&mut self, ctx: &LoadContext, went_off_chip: bool) {
         let (slot, li) = self.local_index(ctx.pc);
         counter_update(&mut self.local_table[li], went_off_chip);
-        self.local_history[slot] =
-            (self.local_history[slot] << 1) | u16::from(went_off_chip);
+        self.local_history[slot] = (self.local_history[slot] << 1) | u16::from(went_off_chip);
 
         let gi = self.gshare_index(ctx.pc);
         counter_update(&mut self.gshare_table[gi], went_off_chip);
@@ -178,7 +177,10 @@ mod tests {
             }
             p.train(&ctx(0x500), outcome);
         }
-        assert!(correct > 150, "alternating pattern should be learned, got {correct}/200");
+        assert!(
+            correct > 150,
+            "alternating pattern should be learned, got {correct}/200"
+        );
     }
 
     #[test]

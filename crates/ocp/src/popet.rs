@@ -61,11 +61,7 @@ impl Popet {
     }
 
     fn sum(&self, idx: &[usize; NUM_FEATURES]) -> i32 {
-        self.tables
-            .iter()
-            .zip(idx.iter())
-            .map(|(t, &i)| t[i])
-            .sum()
+        self.tables.iter().zip(idx.iter()).map(|(t, &i)| t[i]).sum()
     }
 }
 
@@ -144,7 +140,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct > 90, "should have learned the off-chip PC, got {correct}");
+        assert!(
+            correct > 90,
+            "should have learned the off-chip PC, got {correct}"
+        );
     }
 
     #[test]
@@ -162,7 +161,10 @@ mod tests {
                 wrong += 1;
             }
         }
-        assert!(wrong < 10, "should not predict off-chip for a cache-resident PC: {wrong}");
+        assert!(
+            wrong < 10,
+            "should not predict off-chip for a cache-resident PC: {wrong}"
+        );
     }
 
     #[test]
@@ -183,7 +185,10 @@ mod tests {
                 acc += 1;
             }
         }
-        assert!(acc > 170, "per-PC separation should be strong, got {acc}/200");
+        assert!(
+            acc > 170,
+            "per-PC separation should be strong, got {acc}/200"
+        );
     }
 
     #[test]

@@ -197,6 +197,9 @@ mod tests {
         for i in 0..16u64 {
             p.on_access(&ev(0x600, 0x30_0000 + i * 64), &mut out);
         }
-        assert!(out.is_empty(), "no prefetches before the first evaluation period");
+        assert!(
+            out.is_empty(),
+            "no prefetches before the first evaluation period"
+        );
     }
 }

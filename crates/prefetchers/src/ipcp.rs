@@ -245,7 +245,10 @@ mod tests {
             p.on_access(&ev(0x400 + i * 4, 0x40_0000 + i * 64), &mut out);
             produced += out.len();
         }
-        assert!(produced > 0, "global stream class should have produced prefetches");
+        assert!(
+            produced > 0,
+            "global stream class should have produced prefetches"
+        );
         if let Some(last) = out.last() {
             assert!(last.addr > 0x40_0000);
         }
@@ -258,7 +261,9 @@ mod tests {
         let mut x = 0x9e37_79b9u64;
         let mut produced = 0;
         for _ in 0..300 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             out.clear();
             p.on_access(&ev(0x400 + (x % 8) * 4, (x >> 8) % (1 << 28)), &mut out);
             produced += out.len();

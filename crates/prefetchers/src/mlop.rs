@@ -167,7 +167,10 @@ mod tests {
             out.clear();
             p.on_access(&ev(0x10_0000 + i * 64), &mut out);
         }
-        assert!(p.selected_offsets().contains(&1), "offset +1 should be selected");
+        assert!(
+            p.selected_offsets().contains(&1),
+            "offset +1 should be selected"
+        );
         assert!(!out.is_empty());
     }
 

@@ -145,8 +145,7 @@ impl Prefetcher for Pythia {
             self.last_line_by_page.clear();
         }
         self.last_line_by_page.insert(page, line);
-        self.delta_history_sig =
-            ((self.delta_history_sig << 5) ^ ((delta as u64) & 0x3f)) & 0xffff;
+        self.delta_history_sig = ((self.delta_history_sig << 5) ^ ((delta as u64) & 0x3f)) & 0xffff;
 
         let state = self.state_of(ev.pc, line, delta);
 
@@ -312,7 +311,11 @@ mod tests {
         for i in 0..200u64 {
             out.clear();
             p.on_access(&ev(0x400, 0x200_0000 + i * 64, false), &mut out);
-            assert!(out.len() <= 1, "degree 1 must cap prefetches, got {}", out.len());
+            assert!(
+                out.len() <= 1,
+                "degree 1 must cap prefetches, got {}",
+                out.len()
+            );
         }
     }
 

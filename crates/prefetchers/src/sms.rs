@@ -191,7 +191,11 @@ mod tests {
         p.set_degree(4);
         out.clear();
         p.on_access(&ev(0x500, 0xa00_0000), &mut out);
-        assert!(out.len() <= 4, "degree must cap footprint replay, got {}", out.len());
+        assert!(
+            out.len() <= 4,
+            "degree must cap footprint replay, got {}",
+            out.len()
+        );
     }
 
     #[test]

@@ -253,7 +253,10 @@ mod tests {
                 issued += out.len();
             }
         }
-        assert!(issued > 100, "confident +1 path should issue lookahead prefetches: {issued}");
+        assert!(
+            issued > 100,
+            "confident +1 path should issue lookahead prefetches: {issued}"
+        );
         // The last trigger should have prefetched lines ahead of the current offset.
         assert!(out.iter().all(|r| r.addr > 7 * 4096 + 59 * 64));
     }

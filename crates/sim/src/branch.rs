@@ -134,7 +134,10 @@ mod tests {
             }
         }
         let rate = mispredicts as f64 / n as f64;
-        assert!(rate > 0.3, "random branches should mispredict often, rate={rate}");
+        assert!(
+            rate > 0.3,
+            "random branches should mispredict often, rate={rate}"
+        );
     }
 
     #[test]

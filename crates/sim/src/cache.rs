@@ -282,10 +282,7 @@ impl Cache {
         }
 
         // If already present just refresh metadata (e.g. a demand fill racing a prefetch).
-        if let Some(line) = self.sets[set]
-            .iter_mut()
-            .find(|l| l.valid && l.tag == tag)
-        {
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.valid && l.tag == tag) {
             line.lru = clock;
             line.rrpv = if is_prefetch { 2 } else { 0 };
             line.ready = line.ready.min(ready_cycle);
@@ -304,7 +301,7 @@ impl Cache {
                 Some(EvictedLine {
                     line_addr: (line.tag * sets_count + set as u64) * LINE_SIZE,
                     dirty: line.dirty,
-                    was_prefetch: line.prefetch || (!line.used && line.prefetch),
+                    was_prefetch: line.prefetch,
                     was_used: line.used,
                     evicted_by_prefetch: is_prefetch,
                 })
@@ -332,7 +329,11 @@ impl Cache {
             prefetch: is_prefetch,
             used: !is_prefetch,
             lru: clock,
-            rrpv: if predicted_dead || is_prefetch { RRPV_MAX - 1 } else { 1 },
+            rrpv: if predicted_dead || is_prefetch {
+                RRPV_MAX - 1
+            } else {
+                1
+            },
             signature,
             ready: ready_cycle,
         };

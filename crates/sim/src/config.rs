@@ -189,7 +189,9 @@ impl SimConfig {
     /// configured bandwidth.
     pub fn dram_cycles_per_line(&self) -> u64 {
         let bytes_per_cycle = self.dram.bandwidth_gbps / self.core.frequency_ghz;
-        (crate::trace::LINE_SIZE as f64 / bytes_per_cycle).round().max(1.0) as u64
+        (crate::trace::LINE_SIZE as f64 / bytes_per_cycle)
+            .round()
+            .max(1.0) as u64
     }
 
     /// Converts a nanosecond latency to core cycles at the configured frequency.

@@ -379,8 +379,7 @@ mod tests {
 
     #[test]
     fn bandwidth_constrained_streaming_is_slower() {
-        let make =
-            || (0..30_000u64).map(|i| TraceRecord::load(0x400, 0x2000_0000 + i * 64, false));
+        let make = || (0..30_000u64).map(|i| TraceRecord::load(0x400, 0x2000_0000 + i * 64, false));
         let mut narrow = Simulator::new(SimConfig::golden_cove_like().with_bandwidth(1.6));
         let rn = narrow.run(make(), 30_000);
         let mut wide = Simulator::new(SimConfig::golden_cove_like().with_bandwidth(12.8));

@@ -23,8 +23,8 @@ use crate::dram::{Dram, DramRequestKind, DramStats};
 use crate::stats::EpochStats;
 use crate::trace::{line_of, line_offset_in_page, page_of};
 use crate::traits::{
-    AccessEvent, CoordinationDecision, Coordinator, LoadContext, OffChipPredictor,
-    PrefetchRequest, Prefetcher,
+    AccessEvent, CoordinationDecision, Coordinator, LoadContext, OffChipPredictor, PrefetchRequest,
+    Prefetcher,
 };
 
 /// Bound on the bookkeeping sets used for pollution and provenance tracking, to keep memory
@@ -416,7 +416,13 @@ impl MemoryHierarchy {
             if p.level() != level {
                 continue;
             }
-            if !self.decision.prefetcher_enable.get(idx).copied().unwrap_or(true) {
+            if !self
+                .decision
+                .prefetcher_enable
+                .get(idx)
+                .copied()
+                .unwrap_or(true)
+            {
                 continue;
             }
             let mut out = Vec::new();
@@ -537,14 +543,7 @@ impl MemoryHierarchy {
         &self.config
     }
 
-    fn fill_level(
-        &mut self,
-        level: CacheLevel,
-        line: u64,
-        is_prefetch: bool,
-        pc: u64,
-        ready: u64,
-    ) {
+    fn fill_level(&mut self, level: CacheLevel, line: u64, is_prefetch: bool, pc: u64, ready: u64) {
         let evicted = match level {
             CacheLevel::L1d => self.l1d.fill(line, is_prefetch, pc, ready),
             CacheLevel::L2c => self.l2c.fill(line, is_prefetch, pc, ready),
@@ -595,7 +594,11 @@ impl MemoryHierarchy {
                     p.on_prefetch_evicted_unused(ev.line_addr);
                 }
             }
-            if self.dram_prefetch_provenance.remove(&ev.line_addr).is_some() {
+            if self
+                .dram_prefetch_provenance
+                .remove(&ev.line_addr)
+                .is_some()
+            {
                 self.total_prefetch_fills_from_dram_unused += 1;
             }
         }
@@ -691,7 +694,10 @@ mod tests {
         let hot = h.demand_load(0x400, 0x10_0000, cold.completion_cycle);
         assert!(!hot.went_off_chip);
         let l1_latency = hot.completion_cycle - cold.completion_cycle;
-        assert!(l1_latency < cold.completion_cycle, "L1 hit should be much faster");
+        assert!(
+            l1_latency < cold.completion_cycle,
+            "L1 hit should be much faster"
+        );
         assert_eq!(l1_latency, 4);
     }
 

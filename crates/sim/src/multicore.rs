@@ -221,6 +221,9 @@ mod tests {
         let a = run(2);
         let b = run(2);
         let s = a.geomean_speedup_over(&b);
-        assert!((s - 1.0).abs() < 1e-9, "identical runs must have speedup 1, got {s}");
+        assert!(
+            (s - 1.0).abs() < 1e-9,
+            "identical runs must have speedup 1, got {s}"
+        );
     }
 }

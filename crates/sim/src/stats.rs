@@ -7,10 +7,8 @@
 //! plus the reward constituents of Table 2 (cycles, LLC misses, LLC miss latency, load count,
 //! mispredicted branches).
 
-use serde::{Deserialize, Serialize};
-
 /// Telemetry collected over one coordination epoch (a fixed number of retired instructions).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EpochStats {
     /// Epoch sequence number (0-based).
     pub epoch_index: u64,
@@ -143,7 +141,7 @@ fn ratio_f(num: u64, den: u64) -> f64 {
 }
 
 /// Whole-run aggregate statistics.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Total instructions retired.
     pub instructions: u64,

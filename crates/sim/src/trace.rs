@@ -187,8 +187,14 @@ mod tests {
     #[test]
     fn iterator_is_a_trace_source() {
         let mut src = vec![TraceRecord::alu(1), TraceRecord::alu(2)].into_iter();
-        assert_eq!(TraceSource::next_record(&mut src), Some(TraceRecord::alu(1)));
-        assert_eq!(TraceSource::next_record(&mut src), Some(TraceRecord::alu(2)));
+        assert_eq!(
+            TraceSource::next_record(&mut src),
+            Some(TraceRecord::alu(1))
+        );
+        assert_eq!(
+            TraceSource::next_record(&mut src),
+            Some(TraceRecord::alu(2))
+        );
         assert_eq!(TraceSource::next_record(&mut src), None);
     }
 }

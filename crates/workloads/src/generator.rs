@@ -123,9 +123,10 @@ impl TraceGenerator {
             self.rng.gen_range(0..100) < taken_pct
         } else {
             // A loop-style branch: taken except once every ~32 iterations.
-            self.instr_count % 32 != 0
+            !self.instr_count.is_multiple_of(32)
         };
-        self.pending.push(TraceRecord::branch(self.pc(pc_slot), taken));
+        self.pending
+            .push(TraceRecord::branch(self.pc(pc_slot), taken));
     }
 
     /// Emits `n` filler instructions: ALU work, cache-resident "hot" loads and an
@@ -141,7 +142,8 @@ impl TraceGenerator {
                 2 | 7 if allow_loads => {
                     // Hot loads hit a small per-workload buffer that stays cache resident.
                     let hot = self.base + 0x0080_0000 + (self.rng.gen_range(0..256u64)) * LINE;
-                    self.pending.push(TraceRecord::load(self.pc(20 + k % 4), hot, false));
+                    self.pending
+                        .push(TraceRecord::load(self.pc(20 + k % 4), hot, false));
                 }
                 9 => self.push_branch(90 + k % 2, 95, false),
                 _ => self.pending.push(TraceRecord::alu(self.pc(48 + k % 8))),
@@ -162,14 +164,14 @@ impl TraceGenerator {
                 // whose index or accumulator chains bound overlap).
                 for i in 0..loads_per_iter as u64 {
                     let addr = self.base + (self.position * 4) % footprint;
-                    let crosses = self.position % 16 == 0;
+                    let crosses = self.position.is_multiple_of(16);
                     self.position += 1;
                     let dep = crosses && self.rng.gen_range(0..100) < 35;
                     self.pending.push(TraceRecord::load(self.pc(i), addr, dep));
                     self.pending.push(TraceRecord::alu(self.pc(32 + i)));
                     self.pending.push(TraceRecord::alu(self.pc(36 + i)));
                 }
-                if self.position % 64 == 0 {
+                if self.position.is_multiple_of(64) {
                     let addr = self.base + footprint + (self.position * 4) % (footprint / 2);
                     self.pending.push(TraceRecord::store(self.pc(70), addr));
                 }
@@ -212,11 +214,13 @@ impl TraceGenerator {
                     self.burst_remaining -= 1;
                     self.current_node = (self.current_node + 1) % nodes;
                     let addr = self.base + self.current_node * LINE;
-                    self.pending.push(TraceRecord::load(self.pc(2), addr, false));
+                    self.pending
+                        .push(TraceRecord::load(self.pc(2), addr, false));
                     self.filler(8, false);
                 } else {
                     // A dependent hop to a pseudo-random node.
-                    self.current_node = (self.current_node
+                    self.current_node = (self
+                        .current_node
                         .wrapping_mul(6364136223846793005)
                         .wrapping_add(1442695040888963407))
                         % nodes;
@@ -236,12 +240,14 @@ impl TraceGenerator {
                 let lines = footprint / LINE;
                 let probe_line = self.rng.gen_range(0..lines);
                 let addr = self.base + probe_line * LINE;
-                self.pending.push(TraceRecord::load(self.pc(4), addr, false));
+                self.pending
+                    .push(TraceRecord::load(self.pc(4), addr, false));
                 if self.rng.gen_range(0..100) < locality_pct {
                     // Same-page follow-up (e.g. reading the rest of the bucket), dependent
                     // on the probe result.
                     let follow = (addr & !4095) + self.rng.gen_range(0..64) * LINE;
-                    self.pending.push(TraceRecord::load(self.pc(5), follow, true));
+                    self.pending
+                        .push(TraceRecord::load(self.pc(5), follow, true));
                 }
                 if self.rng.gen_range(0..100) < 20 {
                     self.pending.push(TraceRecord::store(self.pc(71), addr + 8));
@@ -263,14 +269,17 @@ impl TraceGenerator {
                 for n in 0..neighbours as u64 {
                     let v = self.rng.gen_range(0..vertices);
                     let addr = self.base + 0x4000_0000 + v * LINE;
-                    self.pending.push(TraceRecord::load(self.pc(7 + n % 4), addr, true));
+                    self.pending
+                        .push(TraceRecord::load(self.pc(7 + n % 4), addr, true));
                     self.pending.push(TraceRecord::alu(self.pc(41)));
                 }
                 self.filler(10 + 34 * u64::from(neighbours), true);
                 if self.rng.gen_range(0..100) < 30 {
                     let v = self.rng.gen_range(0..vertices);
-                    self.pending
-                        .push(TraceRecord::store(self.pc(72), self.base + 0x8000_0000 + v * 8));
+                    self.pending.push(TraceRecord::store(
+                        self.pc(72),
+                        self.base + 0x8000_0000 + v * 8,
+                    ));
                 }
                 self.push_branch(85, 70, true);
             }
@@ -279,10 +288,10 @@ impl TraceGenerator {
                 stream_footprint,
                 chase_nodes,
             } => {
-                let in_stream_phase = (self.instr_count / phase_len) % 2 == 0;
+                let in_stream_phase = (self.instr_count / phase_len).is_multiple_of(2);
                 if in_stream_phase {
                     let addr = self.base + (self.position * 4) % stream_footprint;
-                    let crosses = self.position % 16 == 0;
+                    let crosses = self.position.is_multiple_of(16);
                     self.position += 1;
                     let dep = crosses && self.rng.gen_range(0..100) < 35;
                     self.pending.push(TraceRecord::load(self.pc(8), addr, dep));
@@ -290,7 +299,8 @@ impl TraceGenerator {
                     self.pending.push(TraceRecord::alu(self.pc(47)));
                     self.push_branch(86, 95, false);
                 } else {
-                    self.current_node = (self.current_node
+                    self.current_node = (self
+                        .current_node
                         .wrapping_mul(2862933555777941757)
                         .wrapping_add(3037000493))
                         % chase_nodes;
@@ -315,9 +325,13 @@ impl TraceGenerator {
                         11,
                     )
                 } else {
-                    (self.base + self.rng.gen_range(0..hot_bytes / LINE) * LINE, 10)
+                    (
+                        self.base + self.rng.gen_range(0..hot_bytes / LINE) * LINE,
+                        10,
+                    )
                 };
-                self.pending.push(TraceRecord::load(self.pc(pc_slot), addr, false));
+                self.pending
+                    .push(TraceRecord::load(self.pc(pc_slot), addr, false));
                 self.filler(30, true);
                 let hard = self.rng.gen_range(0..100) < hard_branch_pct;
                 if hard {
@@ -516,6 +530,9 @@ mod tests {
             second_phase_dep > first_phase_dep * 2,
             "the chase phase should be far more dependent: stream={first_phase_dep} chase={second_phase_dep}"
         );
-        assert!(second_phase_dep > 50, "second phase should be pointer chasing");
+        assert!(
+            second_phase_dep > 50,
+            "second phase should be pointer chasing"
+        );
     }
 }

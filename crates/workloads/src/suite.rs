@@ -70,13 +70,34 @@ pub fn all_workloads() -> Vec<WorkloadSpec> {
 
     // --- SPEC (49): 28 prefetcher-friendly, 21 prefetcher-adverse ------------------------
     let spec_friendly_names = [
-        "410.bwaves-1963B", "433.milc-127B", "434.zeusmp-10B", "436.cactusADM-1804B",
-        "437.leslie3d-134B", "459.GemsFDTD-765B", "462.libquantum-714B", "470.lbm-1274B",
-        "481.wrf-1170B", "482.sphinx3-1100B", "603.bwaves_s-2609B", "607.cactuBSSN_s-2421B",
-        "619.lbm_s-2676B", "621.wrf_s-6673B", "627.cam4_s-490B", "628.pop2_s-17B",
-        "638.imagick_s-10316B", "644.nab_s-5853B", "649.fotonik3d_s-1176B", "654.roms_s-842B",
-        "459.GemsFDTD-1211B", "470.lbm-1216B", "433.milc-337B", "437.leslie3d-271B",
-        "410.bwaves-2097B", "603.bwaves_s-891B", "619.lbm_s-4268B", "649.fotonik3d_s-7084B",
+        "410.bwaves-1963B",
+        "433.milc-127B",
+        "434.zeusmp-10B",
+        "436.cactusADM-1804B",
+        "437.leslie3d-134B",
+        "459.GemsFDTD-765B",
+        "462.libquantum-714B",
+        "470.lbm-1274B",
+        "481.wrf-1170B",
+        "482.sphinx3-1100B",
+        "603.bwaves_s-2609B",
+        "607.cactuBSSN_s-2421B",
+        "619.lbm_s-2676B",
+        "621.wrf_s-6673B",
+        "627.cam4_s-490B",
+        "628.pop2_s-17B",
+        "638.imagick_s-10316B",
+        "644.nab_s-5853B",
+        "649.fotonik3d_s-1176B",
+        "654.roms_s-842B",
+        "459.GemsFDTD-1211B",
+        "470.lbm-1216B",
+        "433.milc-337B",
+        "437.leslie3d-271B",
+        "410.bwaves-2097B",
+        "603.bwaves_s-891B",
+        "619.lbm_s-4268B",
+        "649.fotonik3d_s-7084B",
     ];
     for (i, name) in spec_friendly_names.iter().enumerate() {
         let pattern = match i % 3 {
@@ -96,11 +117,27 @@ pub fn all_workloads() -> Vec<WorkloadSpec> {
         w.push(spec(name, pattern, 1000 + i as u64, true, Suite::Spec));
     }
     let spec_adverse_names = [
-        "429.mcf-184B", "450.soplex-247B", "471.omnetpp-188B", "473.astar-153B",
-        "483.xalancbmk-127B", "403.gcc-17B", "445.gobmk-17B", "456.hmmer-88B",
-        "464.h264ref-57B", "605.mcf_s-1554B", "605.mcf_s-472B", "620.omnetpp_s-874B",
-        "623.xalancbmk_s-10B", "631.deepsjeng_s-928B", "641.leela_s-800B", "648.exchange2_s-1699B",
-        "657.xz_s-3167B", "602.gcc_s-734B", "429.mcf-51B", "471.omnetpp-20B", "483.xalancbmk-736B",
+        "429.mcf-184B",
+        "450.soplex-247B",
+        "471.omnetpp-188B",
+        "473.astar-153B",
+        "483.xalancbmk-127B",
+        "403.gcc-17B",
+        "445.gobmk-17B",
+        "456.hmmer-88B",
+        "464.h264ref-57B",
+        "605.mcf_s-1554B",
+        "605.mcf_s-472B",
+        "620.omnetpp_s-874B",
+        "623.xalancbmk_s-10B",
+        "631.deepsjeng_s-928B",
+        "641.leela_s-800B",
+        "648.exchange2_s-1699B",
+        "657.xz_s-3167B",
+        "602.gcc_s-734B",
+        "429.mcf-51B",
+        "471.omnetpp-20B",
+        "483.xalancbmk-736B",
     ];
     for (i, name) in spec_adverse_names.iter().enumerate() {
         let pattern = match i % 3 {
@@ -157,7 +194,13 @@ pub fn all_workloads() -> Vec<WorkloadSpec> {
                 locality_pct: 30,
             }
         };
-        w.push(spec(name, pattern, 3000 + i as u64, *friendly, Suite::Parsec));
+        w.push(spec(
+            name,
+            pattern,
+            3000 + i as u64,
+            *friendly,
+            Suite::Parsec,
+        ));
     }
 
     // --- Ligra (13): 4 friendly, 9 adverse -------------------------------------------------
@@ -189,7 +232,13 @@ pub fn all_workloads() -> Vec<WorkloadSpec> {
                 neighbours: 2 + (i as u32 % 2),
             }
         };
-        w.push(spec(name, pattern, 4000 + i as u64, *friendly, Suite::Ligra));
+        w.push(spec(
+            name,
+            pattern,
+            4000 + i as u64,
+            *friendly,
+            Suite::Ligra,
+        ));
     }
 
     // --- CVP (25): 13 friendly (fp), 12 adverse (int/server) -------------------------------
@@ -299,8 +348,18 @@ pub fn tuning_workloads() -> Vec<WorkloadSpec> {
 /// one representative workload per group.
 pub fn google_like_workloads() -> Vec<WorkloadSpec> {
     let groups = [
-        "sierra.a.3", "sierra.a.4", "sierra.a.6", "bravo.a", "arizona", "charlie", "delta",
-        "merced", "tahoe", "tango", "whiskey", "yankee",
+        "sierra.a.3",
+        "sierra.a.4",
+        "sierra.a.6",
+        "bravo.a",
+        "arizona",
+        "charlie",
+        "delta",
+        "merced",
+        "tahoe",
+        "tango",
+        "whiskey",
+        "yankee",
     ];
     groups
         .iter()
@@ -322,7 +381,13 @@ pub fn google_like_workloads() -> Vec<WorkloadSpec> {
                     hard_branch_pct: 35,
                 }
             };
-            spec(&format!("google-{g}"), pattern, 11_000 + i as u64, false, Suite::GoogleLike)
+            spec(
+                &format!("google-{g}"),
+                pattern,
+                11_000 + i as u64,
+                false,
+                Suite::GoogleLike,
+            )
         })
         .collect()
 }

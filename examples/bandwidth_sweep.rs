@@ -36,8 +36,9 @@ fn main() {
         "bandwidth", "prefetchers-only", "ocp-only", "naive", "athena"
     );
     for bandwidth in [1.6, 3.2, 6.4, 12.8] {
-        let config = SystemConfig::cd4(PrefetcherKind::Ipcp, PrefetcherKind::Pythia, OcpKind::Popet)
-            .with_bandwidth(bandwidth);
+        let config =
+            SystemConfig::cd4(PrefetcherKind::Ipcp, PrefetcherKind::Pythia, OcpKind::Popet)
+                .with_bandwidth(bandwidth);
         let mut row = Vec::new();
         for policy in &policies {
             let mut speedups = Vec::new();

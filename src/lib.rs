@@ -25,8 +25,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use athena_core as athena;
 pub use athena_coordinators as coordinators;
+pub use athena_core as athena;
 pub use athena_harness as harness;
 pub use athena_ocp as ocp;
 pub use athena_prefetchers as prefetchers;
@@ -35,8 +35,8 @@ pub use athena_workloads as workloads;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use athena_core::{AthenaAgent, AthenaConfig};
     pub use athena_coordinators::{FixedCombo, Hpac, Mab, NaiveAll, Tlp};
+    pub use athena_core::{AthenaAgent, AthenaConfig};
     pub use athena_harness::{
         simulate, simulate_multicore, CoordinatorKind, OcpKind, PrefetcherKind, RunOptions,
         RunResult, SystemConfig,

@@ -18,7 +18,12 @@ fn ocp_helps_and_prefetcher_hurts_on_an_adverse_workload() {
     let spec = find("483.xalancbmk-127B");
     let config = SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet);
     let base = simulate(&spec, &config, CoordinatorKind::Baseline, INSTRUCTIONS);
-    let pf = simulate(&spec, &config, CoordinatorKind::PrefetchersOnly, INSTRUCTIONS);
+    let pf = simulate(
+        &spec,
+        &config,
+        CoordinatorKind::PrefetchersOnly,
+        INSTRUCTIONS,
+    );
     let ocp = simulate(&spec, &config, CoordinatorKind::OcpOnly, INSTRUCTIONS);
     assert!(
         pf.ipc < base.ipc,
@@ -39,7 +44,12 @@ fn prefetcher_helps_on_a_friendly_workload() {
     let spec = find("462.libquantum-714B");
     let config = SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet);
     let base = simulate(&spec, &config, CoordinatorKind::Baseline, INSTRUCTIONS);
-    let pf = simulate(&spec, &config, CoordinatorKind::PrefetchersOnly, INSTRUCTIONS);
+    let pf = simulate(
+        &spec,
+        &config,
+        CoordinatorKind::PrefetchersOnly,
+        INSTRUCTIONS,
+    );
     assert!(
         pf.ipc > base.ipc * 1.1,
         "Pythia should clearly speed up a streaming workload: {} vs {}",
