@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use athena_bench::bench_options;
+use athena_bench::{bench_options, parallel_bench_options};
 use athena_harness::experiments::{experiment_names, run_experiment};
 
 fn figure_benches(c: &mut Criterion) {
@@ -36,6 +36,7 @@ fn figure_benches(c: &mut Criterion) {
     let tiny = athena_harness::RunOptions {
         instructions: 10_000,
         workload_limit: Some(3),
+        jobs: 1,
     };
     for name in ["fig15", "fig16"] {
         multicore.bench_function(name, |b| {
@@ -46,6 +47,27 @@ fn figure_benches(c: &mut Criterion) {
         });
     }
     multicore.finish();
+
+    // Engine scaling: the same figure serially and at the host's parallelism. On a
+    // multi-core machine the ratio of these two timings is the engine's speedup; on CI it
+    // guards against the parallel path regressing relative to serial.
+    let mut engine = c.benchmark_group("engine");
+    engine.sample_size(10);
+    engine.warm_up_time(Duration::from_millis(500));
+    engine.measurement_time(Duration::from_secs(3));
+    engine.bench_function("fig7_serial", |b| {
+        b.iter(|| {
+            let table = run_experiment("fig7", bench_options()).expect("known experiment");
+            std::hint::black_box(table.rows.len())
+        })
+    });
+    engine.bench_function("fig7_parallel", |b| {
+        b.iter(|| {
+            let table = run_experiment("fig7", parallel_bench_options()).expect("known experiment");
+            std::hint::black_box(table.rows.len())
+        })
+    });
+    engine.finish();
 }
 
 criterion_group!(benches, figure_benches);

@@ -139,6 +139,38 @@ fn simulation_bench(c: &mut Criterion) {
     group.finish();
 }
 
+fn engine_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("seed_derivation", |b| {
+        let spec = all_workloads()[0].clone();
+        let config = SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet);
+        b.iter(|| {
+            let job = athena_engine::Job::single(
+                "bench",
+                spec.clone(),
+                config.clone(),
+                CoordinatorKind::Athena,
+                20_000,
+            );
+            std::hint::black_box(job.seed)
+        })
+    });
+    // Pure dispatch overhead: 64 trivial jobs through the pool, so the timing is dominated
+    // by injector/thread/slot machinery rather than simulation.
+    let items: Vec<u64> = (0..64).collect();
+    for workers in [1usize, 4] {
+        group.bench_function(format!("pool_dispatch_{workers}w"), |b| {
+            b.iter(|| {
+                let out =
+                    athena_engine::pool::parallel_map(workers, &items, |&i| i.wrapping_mul(3));
+                std::hint::black_box(out.len())
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     cache_bench,
@@ -146,6 +178,7 @@ criterion_group!(
     qvstore_bench,
     bloom_bench,
     trace_bench,
-    simulation_bench
+    simulation_bench,
+    engine_bench
 );
 criterion_main!(benches);

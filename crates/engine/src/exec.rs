@@ -1,0 +1,174 @@
+//! The [`Engine`]: runs a batch of [`Job`]s on the worker pool and collects per-cell
+//! results in submission order.
+
+use std::time::Duration;
+
+use athena_sim::MultiCoreResult;
+
+use crate::job::{Job, JobOutput, RunResult};
+use crate::pool::{available_parallelism, parallel_map};
+use crate::record;
+
+/// A parallel experiment executor with a fixed worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Engine {
+    jobs: usize,
+}
+
+impl Engine {
+    /// Creates an engine running up to `jobs` simulation cells concurrently. `jobs == 1` is
+    /// the exact serial path: cells run on the caller's thread in submission order.
+    pub fn new(jobs: usize) -> Self {
+        Self { jobs: jobs.max(1) }
+    }
+
+    /// An engine sized to the host (`std::thread::available_parallelism`).
+    pub fn host_sized() -> Self {
+        Self::new(available_parallelism())
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs every job and returns one [`CellResult`] per job, in submission order.
+    ///
+    /// A job that panics yields a `CellResult` with `output: Err(message)`; the rest of the
+    /// batch completes normally. Cell metadata (label, seed, wall-clock, outcome) is also
+    /// forwarded to any active [`record::with_recording`] scope on the calling thread.
+    pub fn run(&self, jobs: Vec<Job>) -> Vec<CellResult> {
+        let outcomes = parallel_map(self.jobs, &jobs, |job| job.run());
+        let cells: Vec<CellResult> = jobs
+            .into_iter()
+            .zip(outcomes)
+            .map(|(job, outcome)| {
+                let (output, wall) = match outcome {
+                    Ok((output, wall)) => (Ok(output), wall),
+                    Err(message) => (Err(message), Duration::ZERO),
+                };
+                CellResult {
+                    experiment: job.experiment.clone(),
+                    label: job.label(),
+                    seed: job.seed,
+                    wall,
+                    output,
+                }
+            })
+            .collect();
+        record::record_cells(&cells);
+        cells
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::host_sized()
+    }
+}
+
+/// The outcome of one executed cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// The experiment the cell belongs to.
+    pub experiment: String,
+    /// Cell label (`workload/coordinator/config`).
+    pub label: String,
+    /// The job's derived seed.
+    pub seed: u64,
+    /// Wall-clock time spent simulating this cell.
+    pub wall: Duration,
+    /// The simulation result, or the panic message if the cell failed.
+    pub output: Result<JobOutput, String>,
+}
+
+impl CellResult {
+    /// Unwraps a single-core result.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the cell label) if the cell failed or was a multi-core cell. Experiment
+    /// tables need every cell, so a failed cell fails the experiment *here*, at the edge —
+    /// the engine itself has already run every other cell of the batch to completion.
+    pub fn into_single(self) -> RunResult {
+        match self.output {
+            Ok(JobOutput::Single(r)) => *r,
+            Ok(JobOutput::Multi(_)) => panic!("cell '{}' is multi-core", self.label),
+            Err(e) => panic!("cell '{}' failed: {e}", self.label),
+        }
+    }
+
+    /// Unwraps a multi-core result.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the cell label) if the cell failed or was a single-core cell.
+    pub fn into_multi(self) -> MultiCoreResult {
+        match self.output {
+            Ok(JobOutput::Multi(r)) => r,
+            Ok(JobOutput::Single(_)) => panic!("cell '{}' is single-core", self.label),
+            Err(e) => panic!("cell '{}' failed: {e}", self.label),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kinds::{CoordinatorKind, OcpKind, PrefetcherKind, SystemConfig};
+    use athena_workloads::all_workloads;
+
+    fn jobs_for(kinds: &[CoordinatorKind], n_workloads: usize) -> Vec<Job> {
+        let config = SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet);
+        let specs = all_workloads();
+        let mut jobs = Vec::new();
+        for kind in kinds {
+            for spec in specs.iter().take(n_workloads) {
+                jobs.push(Job::single(
+                    "test",
+                    spec.clone(),
+                    config.clone(),
+                    kind.clone(),
+                    8_000,
+                ));
+            }
+        }
+        jobs
+    }
+
+    #[test]
+    fn serial_and_parallel_batches_are_identical() {
+        let kinds = [CoordinatorKind::Baseline, CoordinatorKind::Athena];
+        let serial = Engine::new(1).run(jobs_for(&kinds, 3));
+        let parallel = Engine::new(4).run(jobs_for(&kinds, 3));
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.label, p.label);
+            assert_eq!(s.seed, p.seed);
+            assert_eq!(s.output, p.output, "cell {} diverged", s.label);
+        }
+    }
+
+    #[test]
+    fn results_follow_submission_order_even_when_shuffled() {
+        // Reversing the submission order must reverse the results and nothing else.
+        let kinds = [CoordinatorKind::Naive];
+        let forward = Engine::new(4).run(jobs_for(&kinds, 4));
+        let mut reversed_jobs = jobs_for(&kinds, 4);
+        reversed_jobs.reverse();
+        let reversed = Engine::new(4).run(reversed_jobs);
+        for (f, r) in forward.iter().zip(reversed.iter().rev()) {
+            assert_eq!(f.label, r.label);
+            assert_eq!(f.output, r.output);
+        }
+    }
+
+    #[test]
+    fn wall_clock_is_accounted_per_cell() {
+        let cells = Engine::new(2).run(jobs_for(&[CoordinatorKind::Baseline], 2));
+        for c in &cells {
+            assert!(c.output.is_ok());
+            assert!(c.wall > Duration::ZERO);
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! The [`Job`] abstraction: one simulation cell, as plain data.
+//!
+//! A job bundles everything one cell of an experiment grid needs — a workload (or
+//! multi-core mix), a [`SystemConfig`], a [`CoordinatorKind`] and an instruction budget —
+//! plus a deterministic seed derived from that identity (see [`crate::seed`]). Because the
+//! job is a pure value and [`Job::run`] builds every mechanism from scratch, a job's result
+//! depends only on the job itself: never on which worker ran it, in what order, or what else
+//! was in the batch.
+
+use athena_sim::{MultiCoreResult, MultiCoreSimulator, Prefetcher, SimResult, Simulator};
+use athena_workloads::{WorkloadMix, WorkloadSpec};
+
+use crate::kinds::{CoordinatorKind, SystemConfig};
+use crate::seed::SeedHasher;
+
+/// How a job seeds the stochastic parts of its mechanisms (today: the Athena agent's
+/// ε-greedy exploration stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedPolicy {
+    /// Use the seed carried by the mechanism configuration itself (the paper-reproduction
+    /// default: every cell uses Table 3's fixed agent seed, exactly like the original serial
+    /// harness).
+    Config,
+    /// Use the job's derived per-cell seed. Cells then explore independently of each other
+    /// while still being a pure function of the cell identity, so results remain independent
+    /// of scheduling order and worker count.
+    Derived,
+}
+
+/// The workload side of a cell: one single-core workload or one multi-core mix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobCell {
+    /// A single-core run of one workload.
+    Single(WorkloadSpec),
+    /// A multi-core run of one mix (one workload per core, shared DRAM channel).
+    Multi(WorkloadMix),
+}
+
+impl JobCell {
+    /// The workload or mix name.
+    pub fn name(&self) -> &str {
+        match self {
+            JobCell::Single(spec) => &spec.name,
+            JobCell::Multi(mix) => &mix.name,
+        }
+    }
+}
+
+/// One simulation cell of an experiment grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// The experiment this cell belongs to (e.g. `"fig7"`).
+    pub experiment: String,
+    /// The workload or mix to run.
+    pub cell: JobCell,
+    /// The system configuration (cache design, mechanisms, simulator knobs).
+    pub config: SystemConfig,
+    /// The coordination policy.
+    pub coordinator: CoordinatorKind,
+    /// Instruction budget (per core, for multi-core cells).
+    pub instructions: u64,
+    /// Seed derived from the cell identity; see [`crate::seed`].
+    pub seed: u64,
+    /// How the seed is applied; defaults to [`SeedPolicy::Config`].
+    pub seed_policy: SeedPolicy,
+}
+
+impl Job {
+    /// Creates a single-core job and derives its seed.
+    pub fn single(
+        experiment: &str,
+        spec: WorkloadSpec,
+        config: SystemConfig,
+        coordinator: CoordinatorKind,
+        instructions: u64,
+    ) -> Self {
+        Self::build(
+            experiment,
+            JobCell::Single(spec),
+            config,
+            coordinator,
+            instructions,
+        )
+    }
+
+    /// Creates a multi-core job (one workload per core) and derives its seed.
+    pub fn multicore(
+        experiment: &str,
+        mix: WorkloadMix,
+        config: SystemConfig,
+        coordinator: CoordinatorKind,
+        instructions_per_core: u64,
+    ) -> Self {
+        Self::build(
+            experiment,
+            JobCell::Multi(mix),
+            config,
+            coordinator,
+            instructions_per_core,
+        )
+    }
+
+    fn build(
+        experiment: &str,
+        cell: JobCell,
+        config: SystemConfig,
+        coordinator: CoordinatorKind,
+        instructions: u64,
+    ) -> Self {
+        let mut job = Self {
+            experiment: experiment.to_string(),
+            cell,
+            config,
+            coordinator,
+            instructions,
+            seed: 0,
+            seed_policy: SeedPolicy::Config,
+        };
+        job.seed = job.derive_seed();
+        job
+    }
+
+    /// Returns a copy running under [`SeedPolicy::Derived`].
+    pub fn with_derived_seed(mut self) -> Self {
+        self.seed_policy = SeedPolicy::Derived;
+        self
+    }
+
+    /// The seed implied by this job's identity (experiment, cell, configuration,
+    /// coordinator, instruction budget). Scheduling state contributes nothing.
+    fn derive_seed(&self) -> u64 {
+        let mut h = SeedHasher::new();
+        h.write_str(&self.experiment);
+        h.write_str(self.cell.name());
+        if let JobCell::Multi(mix) = &self.cell {
+            for w in &mix.workloads {
+                h.write_str(&w.name);
+            }
+        }
+        self.config.hash_into(&mut h);
+        h.write_str(self.coordinator.name());
+        if let CoordinatorKind::AthenaWith(cfg) = &self.coordinator {
+            h.write_str(&format!("{cfg:?}"));
+        }
+        h.write_u64(self.instructions);
+        h.finish()
+    }
+
+    /// A short human-readable cell label for reports, e.g.
+    /// `"410.bwaves-1963B/athena/<popet, pythia>"`. Explicit Athena configurations carry
+    /// their hyperparameters (`athena*(a0.2,g0.6,…)`), so DSE grid points and ablation
+    /// steps stay distinguishable in per-cell records.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.cell.name(),
+            self.coordinator.describe(),
+            self.config.describe()
+        )
+    }
+
+    /// Runs the cell to completion and returns its result.
+    ///
+    /// Pure with respect to scheduling: every mechanism is constructed fresh from the job's
+    /// own data, so calling this from any thread, any number of times, yields the same
+    /// result.
+    pub fn run(&self) -> JobOutput {
+        let coordinator = || match self.seed_policy {
+            SeedPolicy::Config => self.coordinator.build(),
+            SeedPolicy::Derived => self.coordinator.build_seeded(self.seed),
+        };
+        match &self.cell {
+            JobCell::Single(spec) => {
+                let mut sim = Simulator::new(self.config.sim.clone());
+                for p in &self.config.prefetchers {
+                    sim = sim.with_prefetcher(p.build());
+                }
+                if let Some(ocp) = &self.config.ocp {
+                    sim = sim.with_ocp(ocp.build());
+                }
+                sim = sim.with_coordinator(coordinator());
+                let result = sim.run(spec.trace(), self.instructions);
+                JobOutput::Single(Box::new(RunResult::from_sim(&spec.name, result)))
+            }
+            JobCell::Multi(mix) => {
+                let cores = mix.workloads.len();
+                let mut mc = MultiCoreSimulator::new(self.config.sim.clone(), cores);
+                for spec in &mix.workloads {
+                    let prefetchers: Vec<Box<dyn Prefetcher>> =
+                        self.config.prefetchers.iter().map(|p| p.build()).collect();
+                    let ocp = self.config.ocp.as_ref().map(|o| o.build());
+                    mc.add_core(
+                        Box::new(spec.trace()),
+                        prefetchers,
+                        ocp,
+                        Some(coordinator()),
+                    );
+                }
+                JobOutput::Multi(mc.run(self.instructions))
+            }
+        }
+    }
+}
+
+/// The result of one job: single-core or multi-core, matching the job's [`JobCell`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutput {
+    /// Result of a single-core cell (boxed: the inline stats block is large).
+    Single(Box<RunResult>),
+    /// Result of a multi-core cell.
+    Multi(MultiCoreResult),
+}
+
+/// The result of one single-core run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: String,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycles taken.
+    pub cycles: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Whole-run simulator statistics.
+    pub stats: athena_sim::SimStats,
+    /// Per-epoch telemetry (kept for phase-level analyses).
+    pub epochs: Vec<athena_sim::EpochStats>,
+}
+
+impl RunResult {
+    fn from_sim(workload: &str, r: SimResult) -> Self {
+        Self {
+            workload: workload.to_string(),
+            instructions: r.instructions,
+            cycles: r.cycles,
+            ipc: r.ipc(),
+            stats: r.stats,
+            epochs: r.epochs,
+        }
+    }
+}
+
+/// Runs one workload on one system configuration under one coordination policy.
+///
+/// This is the serial single-cell entry point the engine's jobs are built on; it behaves
+/// exactly like a [`Job::single`] run under [`SeedPolicy::Config`].
+pub fn simulate(
+    spec: &WorkloadSpec,
+    config: &SystemConfig,
+    coordinator: CoordinatorKind,
+    instructions: u64,
+) -> RunResult {
+    let job = Job::single(
+        "adhoc",
+        spec.clone(),
+        config.clone(),
+        coordinator,
+        instructions,
+    );
+    match job.run() {
+        JobOutput::Single(r) => *r,
+        JobOutput::Multi(_) => unreachable!("single job yields a single result"),
+    }
+}
+
+/// Runs a multi-core mix: every core gets its own instance of the configured mechanisms and
+/// coordinator, and all cores share one DRAM channel.
+pub fn simulate_multicore(
+    mix: &WorkloadMix,
+    config: &SystemConfig,
+    coordinator: CoordinatorKind,
+    instructions_per_core: u64,
+) -> MultiCoreResult {
+    let job = Job::multicore(
+        "adhoc",
+        mix.clone(),
+        config.clone(),
+        coordinator,
+        instructions_per_core,
+    );
+    match job.run() {
+        JobOutput::Multi(r) => r,
+        JobOutput::Single(_) => unreachable!("multicore job yields a multicore result"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kinds::{OcpKind, PrefetcherKind};
+    use athena_workloads::all_workloads;
+
+    fn cd1() -> SystemConfig {
+        SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet)
+    }
+
+    #[test]
+    fn baseline_run_produces_no_speculative_traffic() {
+        let spec = &all_workloads()[0];
+        let r = simulate(spec, &cd1(), CoordinatorKind::Baseline, 20_000);
+        assert_eq!(r.stats.prefetches_issued, 0);
+        assert_eq!(r.stats.ocp_predictions, 0);
+        assert!(r.ipc > 0.0);
+    }
+
+    #[test]
+    fn naive_run_produces_speculative_traffic() {
+        let spec = &all_workloads()[0];
+        let r = simulate(spec, &cd1(), CoordinatorKind::Naive, 20_000);
+        assert!(r.stats.prefetches_issued > 0);
+        assert!(r.stats.ocp_predictions > 0);
+    }
+
+    #[test]
+    fn job_seed_depends_on_identity_not_construction_order() {
+        let spec = all_workloads()[0].clone();
+        let a = Job::single("fig7", spec.clone(), cd1(), CoordinatorKind::Athena, 10_000);
+        let b = Job::single("fig7", spec.clone(), cd1(), CoordinatorKind::Athena, 10_000);
+        assert_eq!(a.seed, b.seed);
+        let c = Job::single("fig9", spec.clone(), cd1(), CoordinatorKind::Athena, 10_000);
+        assert_ne!(a.seed, c.seed);
+        let d = Job::single("fig7", spec.clone(), cd1(), CoordinatorKind::Mab, 10_000);
+        assert_ne!(a.seed, d.seed);
+        let e = Job::single(
+            "fig7",
+            spec,
+            cd1().with_bandwidth(1.6),
+            CoordinatorKind::Athena,
+            10_000,
+        );
+        assert_ne!(a.seed, e.seed);
+    }
+
+    #[test]
+    fn job_run_matches_serial_simulate() {
+        let spec = all_workloads()[1].clone();
+        let serial = simulate(&spec, &cd1(), CoordinatorKind::Athena, 15_000);
+        let job = Job::single("fig7", spec, cd1(), CoordinatorKind::Athena, 15_000);
+        match job.run() {
+            JobOutput::Single(r) => assert_eq!(*r, serial),
+            JobOutput::Multi(_) => panic!("single cell"),
+        }
+    }
+
+    #[test]
+    fn derived_seed_policy_is_reproducible_and_distinct_per_cell() {
+        let specs = all_workloads();
+        let job =
+            |s: &WorkloadSpec| Job::single("t", s.clone(), cd1(), CoordinatorKind::Athena, 15_000);
+        let a1 = job(&specs[0]).with_derived_seed().run();
+        let a2 = job(&specs[0]).with_derived_seed().run();
+        assert_eq!(a1, a2, "derived seeding is a pure function of the cell");
+        let b = job(&specs[1]).with_derived_seed();
+        let c = job(&specs[0]).with_derived_seed();
+        assert_ne!(b.seed, c.seed, "different cells explore independently");
+    }
+}

@@ -1,0 +1,225 @@
+//! A minimal hand-rolled JSON document model.
+//!
+//! The offline build has no serde, so the engine carries its own ~150-line value type with
+//! a compact `Display` serialiser and a pretty printer. Object keys keep insertion order,
+//! which keeps report files diff-stable across runs.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number. Non-finite values serialise as `null` (JSON has no NaN/Infinity).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Json::Str(s.into())
+    }
+
+    /// A numeric value.
+    pub fn num(v: f64) -> Self {
+        Json::Num(v)
+    }
+
+    /// An integer value. `u64` seeds do not fit f64 losslessly, so serialise those with
+    /// [`Json::hex`] instead.
+    pub fn int(v: usize) -> Self {
+        Json::Num(v as f64)
+    }
+
+    /// A 64-bit value rendered as a lossless `"0x…"` hex string.
+    pub fn hex(v: u64) -> Self {
+        Json::Str(format!("{v:#018x}"))
+    }
+
+    /// An object from `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Self {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// An array from values.
+    pub fn arr(items: Vec<Json>) -> Self {
+        Json::Arr(items)
+    }
+
+    /// Serialises with two-space indentation and a trailing newline, for files meant to be
+    /// read and diffed by humans.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => out.push_str(&other.to_string()),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_num(f: &mut fmt::Formatter<'_>, v: f64) -> fmt::Result {
+    if !v.is_finite() {
+        return write!(f, "null");
+    }
+    // Integral values within f64's exact range print without a fractional part; everything
+    // else uses Rust's shortest round-trip float formatting, which is valid JSON.
+    if v.fract() == 0.0 && v.abs() < 9_007_199_254_740_992.0 {
+        write!(f, "{}", v as i64)
+    } else {
+        write!(f, "{v}")
+    }
+}
+
+impl fmt::Display for Json {
+    /// Compact (single-line) JSON serialisation.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(v) => write_num(f, *v),
+            Json::Str(s) => {
+                let mut buf = String::new();
+                write_escaped(&mut buf, s);
+                f.write_str(&buf)
+            }
+            Json::Arr(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Obj(pairs) => {
+                write!(f, "{{")?;
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    let mut buf = String::new();
+                    write_escaped(&mut buf, key);
+                    write!(f, "{buf}:{value}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_serialisation() {
+        let doc = Json::obj(vec![
+            ("name", Json::str("fig7")),
+            ("ok", Json::Bool(true)),
+            ("cells", Json::arr(vec![Json::num(1.5), Json::int(2)])),
+            ("none", Json::Null),
+        ]);
+        assert_eq!(
+            doc.to_string(),
+            r#"{"name":"fig7","ok":true,"cells":[1.5,2],"none":null}"#
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = Json::str("a\"b\\c\nd\te\u{1}");
+        assert_eq!(s.to_string(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_render_like_json() {
+        assert_eq!(Json::num(3.0).to_string(), "3");
+        assert_eq!(Json::num(-2.25).to_string(), "-2.25");
+        assert_eq!(Json::num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn hex_round_trips_u64() {
+        let v = u64::MAX - 12345;
+        let Json::Str(s) = Json::hex(v) else {
+            panic!("hex is a string")
+        };
+        let parsed = u64::from_str_radix(s.trim_start_matches("0x"), 16).unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn pretty_printing_indents_and_terminates() {
+        let doc = Json::obj(vec![
+            ("a", Json::int(1)),
+            ("b", Json::arr(vec![Json::int(2), Json::int(3)])),
+            ("empty", Json::Arr(Vec::new())),
+        ]);
+        let text = doc.to_pretty();
+        assert!(text.ends_with('\n'));
+        assert!(text.contains("  \"a\": 1"));
+        assert!(text.contains("\"empty\": []"));
+    }
+}

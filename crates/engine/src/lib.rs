@@ -1,0 +1,57 @@
+//! # athena-engine
+//!
+//! The parallel experiment-execution subsystem of the Athena reproduction.
+//!
+//! Every figure of the paper's evaluation is a grid of (workload × mechanism ×
+//! system-config) simulation cells. This crate turns one grid cell into a [`Job`] — a plain
+//! data value carrying the workload (or multi-core mix), the [`SystemConfig`], the
+//! [`CoordinatorKind`] and an instruction budget — and runs batches of jobs on a hand-rolled
+//! bounded worker pool (`std` only; the offline build has no rayon):
+//!
+//! * **Determinism** — a job's result is a pure function of the job itself. Seeds are
+//!   derived from the cell identity ([`seed`]), never from scheduling, so a batch produces
+//!   bit-identical results at any worker count and in any submission order.
+//! * **Panic isolation** — one poisoned cell fails that cell only; the rest of the batch
+//!   completes ([`pool::parallel_map`]).
+//! * **In-order collection** — results come back in submission order with per-cell
+//!   wall-clock accounting ([`Engine::run`]).
+//! * **Machine-readable results** — a hand-rolled JSON writer ([`json::Json`]) serialises
+//!   aggregate [`ExperimentTable`]s, per-cell records ([`with_recording`]) and the
+//!   `BENCH_engine.json` performance snapshot ([`report::BenchReport`]).
+//!
+//! ```
+//! use athena_engine::{CoordinatorKind, Engine, Job, OcpKind, PrefetcherKind, SystemConfig};
+//! use athena_workloads::all_workloads;
+//!
+//! let config = SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet);
+//! let jobs: Vec<Job> = all_workloads()
+//!     .into_iter()
+//!     .take(2)
+//!     .map(|w| Job::single("demo", w, config.clone(), CoordinatorKind::Athena, 5_000))
+//!     .collect();
+//! let cells = Engine::new(2).run(jobs);
+//! assert_eq!(cells.len(), 2);
+//! assert!(cells.iter().all(|c| c.output.is_ok()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+mod job;
+mod kinds;
+mod record;
+mod table;
+
+pub mod json;
+pub mod pool;
+pub mod report;
+pub mod seed;
+
+pub use exec::{CellResult, Engine};
+pub use job::{simulate, simulate_multicore, Job, JobCell, JobOutput, RunResult, SeedPolicy};
+pub use kinds::{default_athena_config, CoordinatorKind, OcpKind, PrefetcherKind, SystemConfig};
+pub use pool::available_parallelism;
+pub use record::{with_recording, CellRecord};
+pub use seed::{derive_seed, SeedHasher};
+pub use table::ExperimentTable;

@@ -1,0 +1,169 @@
+//! Per-cell telemetry recording.
+//!
+//! Experiments consume engine results internally and return only aggregate tables, so the
+//! per-cell records (label, seed, wall-clock, outcome) that the JSON reports need would
+//! otherwise be lost. [`with_recording`] opens a thread-local collection scope: every
+//! [`crate::Engine::run`] batch executed on the same thread inside the scope appends its
+//! cell records, and the scope returns them alongside the closure's value — no plumbing
+//! through the experiment functions required.
+
+use std::cell::RefCell;
+use std::time::Duration;
+
+use crate::exec::CellResult;
+use crate::json::Json;
+
+thread_local! {
+    static RECORDER: RefCell<Option<Vec<CellRecord>>> = const { RefCell::new(None) };
+}
+
+/// Metadata of one executed cell (the result payload itself is not retained).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// The experiment the cell belongs to.
+    pub experiment: String,
+    /// Cell label (`workload/coordinator/config`).
+    pub label: String,
+    /// The job's derived seed.
+    pub seed: u64,
+    /// Wall-clock time spent simulating the cell.
+    pub wall: Duration,
+    /// The panic message, if the cell failed.
+    pub error: Option<String>,
+}
+
+impl CellRecord {
+    /// Serialises the record for the per-figure JSON reports.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("label", Json::str(&self.label)),
+            ("seed", Json::hex(self.seed)),
+            ("wall_ms", Json::num(self.wall.as_secs_f64() * 1e3)),
+            ("ok", Json::Bool(self.error.is_none())),
+        ];
+        if let Some(e) = &self.error {
+            pairs.push(("error", Json::str(e)));
+        }
+        Json::obj(pairs)
+    }
+}
+
+/// Restores the previous recording scope on unwind, so a panicking closure (e.g. a failed
+/// cell reaching table assembly) cannot leave the thread-local recorder stuck on. The
+/// success path of [`with_recording`] disarms the guard and restores the scope itself.
+struct ScopeGuard {
+    previous: Option<Vec<CellRecord>>,
+    armed: bool,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            let previous = self.previous.take();
+            RECORDER.with(|r| *r.borrow_mut() = previous);
+        }
+    }
+}
+
+/// Runs `f` with cell recording enabled on this thread and returns its value together with
+/// every cell record produced by engine batches inside the scope. Scopes nest: an inner
+/// scope captures its own cells and the outer scope does not see them. Panic-safe: if `f`
+/// unwinds, the scope's records are discarded and the previous scope is restored before the
+/// panic propagates.
+pub fn with_recording<T>(f: impl FnOnce() -> T) -> (T, Vec<CellRecord>) {
+    let mut guard = ScopeGuard {
+        previous: RECORDER.with(|r| r.borrow_mut().replace(Vec::new())),
+        armed: true,
+    };
+    let value = f();
+    guard.armed = false;
+    let cells = RECORDER.with(|r| {
+        let mut slot = r.borrow_mut();
+        let cells = slot.take().unwrap_or_default();
+        *slot = guard.previous.take();
+        cells
+    });
+    (value, cells)
+}
+
+/// Appends the batch's cell metadata to the active recording scope, if any.
+pub(crate) fn record_cells(cells: &[CellResult]) {
+    RECORDER.with(|r| {
+        if let Some(records) = r.borrow_mut().as_mut() {
+            records.extend(cells.iter().map(|c| CellRecord {
+                experiment: c.experiment.clone(),
+                label: c.label.clone(),
+                seed: c.seed,
+                wall: c.wall,
+                error: c.output.as_ref().err().cloned(),
+            }));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Engine;
+    use crate::job::Job;
+    use crate::kinds::{CoordinatorKind, OcpKind, PrefetcherKind, SystemConfig};
+    use athena_workloads::all_workloads;
+
+    fn one_job() -> Job {
+        Job::single(
+            "rec-test",
+            all_workloads()[0].clone(),
+            SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet),
+            CoordinatorKind::Baseline,
+            5_000,
+        )
+    }
+
+    #[test]
+    fn recording_scope_captures_engine_batches() {
+        let ((), cells) = with_recording(|| {
+            Engine::new(2).run(vec![one_job(), one_job()]);
+        });
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].experiment, "rec-test");
+        assert!(cells[0].error.is_none());
+        assert!(cells[0].to_json().to_string().contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn no_scope_means_no_recording_overhead_or_leak() {
+        Engine::new(1).run(vec![one_job()]);
+        let ((), cells) = with_recording(|| {});
+        assert!(cells.is_empty(), "cells outside the scope are not captured");
+    }
+
+    #[test]
+    fn unwinding_scope_restores_the_previous_one() {
+        let ((), outer) = with_recording(|| {
+            Engine::new(1).run(vec![one_job()]);
+            let panic = std::panic::catch_unwind(|| {
+                with_recording(|| {
+                    Engine::new(1).run(vec![one_job()]);
+                    panic!("cell assembly failed");
+                })
+            });
+            assert!(panic.is_err());
+            // The outer scope must still be active and must not have absorbed the
+            // panicked inner scope's records.
+            Engine::new(1).run(vec![one_job()]);
+        });
+        assert_eq!(outer.len(), 2, "outer scope survives an inner panic intact");
+    }
+
+    #[test]
+    fn scopes_nest() {
+        let ((), outer) = with_recording(|| {
+            Engine::new(1).run(vec![one_job()]);
+            let ((), inner) = with_recording(|| {
+                Engine::new(1).run(vec![one_job(), one_job()]);
+            });
+            assert_eq!(inner.len(), 2);
+        });
+        assert_eq!(outer.len(), 1, "outer scope sees only its own batch");
+    }
+}

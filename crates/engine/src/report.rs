@@ -1,0 +1,232 @@
+//! Machine-readable report writers: per-figure JSON results and the `BENCH_engine.json`
+//! performance snapshot.
+
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::record::CellRecord;
+use crate::table::ExperimentTable;
+
+/// Builds the JSON document for one experiment run: the aggregate table plus the per-cell
+/// records (label, seed, wall-clock, outcome) collected by [`crate::with_recording`].
+pub fn figure_report(
+    experiment: &str,
+    jobs: usize,
+    wall: Duration,
+    table: &ExperimentTable,
+    cells: &[CellRecord],
+) -> Json {
+    Json::obj(vec![
+        ("schema", Json::str("athena-figure-result-v1")),
+        ("experiment", Json::str(experiment)),
+        ("jobs", Json::int(jobs)),
+        ("wall_ms", Json::num(wall.as_secs_f64() * 1e3)),
+        ("cell_count", Json::int(cells.len())),
+        (
+            "failed_cells",
+            Json::int(cells.iter().filter(|c| c.error.is_some()).count()),
+        ),
+        ("table", table.to_json()),
+        (
+            "cells",
+            Json::arr(cells.iter().map(CellRecord::to_json).collect()),
+        ),
+    ])
+}
+
+/// One experiment's serial-vs-parallel measurement in a [`BenchReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentBench {
+    /// Experiment identifier (e.g. `"fig7"`).
+    pub name: String,
+    /// Wall-clock of the `--jobs 1` run.
+    pub serial: Duration,
+    /// Wall-clock of the parallel run.
+    pub parallel: Duration,
+    /// Whether the parallel run's table was byte-identical (CSV) to the serial run's.
+    pub identical: bool,
+}
+
+impl ExperimentBench {
+    /// Serial-over-parallel wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        self.serial.as_secs_f64() / self.parallel.as_secs_f64().max(1e-9)
+    }
+}
+
+/// The `BENCH_engine.json` snapshot: per-experiment wall-clock at `--jobs 1` vs `--jobs N`,
+/// the resulting speedups, and a determinism verdict per experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Worker count of the parallel runs.
+    pub jobs: usize,
+    /// Hardware threads available on the measuring host.
+    pub host_parallelism: usize,
+    /// Instruction budget per workload used for the measurement.
+    pub instructions: u64,
+    /// Workload cap used for the measurement (`None` = full suite).
+    pub workload_limit: Option<usize>,
+    /// Per-experiment measurements.
+    pub experiments: Vec<ExperimentBench>,
+}
+
+impl BenchReport {
+    /// Total serial wall-clock across all experiments.
+    pub fn total_serial(&self) -> Duration {
+        self.experiments.iter().map(|e| e.serial).sum()
+    }
+
+    /// Total parallel wall-clock across all experiments.
+    pub fn total_parallel(&self) -> Duration {
+        self.experiments.iter().map(|e| e.parallel).sum()
+    }
+
+    /// Whole-suite speedup (total serial over total parallel).
+    pub fn overall_speedup(&self) -> f64 {
+        self.total_serial().as_secs_f64() / self.total_parallel().as_secs_f64().max(1e-9)
+    }
+
+    /// True when every experiment's parallel table matched its serial table byte-for-byte.
+    pub fn all_identical(&self) -> bool {
+        self.experiments.iter().all(|e| e.identical)
+    }
+
+    /// Serialises the snapshot. Snapshots taken on hosts with fewer than four hardware
+    /// threads carry an explicit note, so a recorded sub-1x "speedup" reads as what it is
+    /// (thread overhead on a host with nothing to parallelise over) rather than a
+    /// regression.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("schema", Json::str("athena-engine-bench-v1")),
+            ("jobs", Json::int(self.jobs)),
+            ("host_parallelism", Json::int(self.host_parallelism)),
+        ];
+        if self.host_parallelism < 4 {
+            pairs.push((
+                "note",
+                Json::str(format!(
+                    "measured on a {}-thread host: parallel speedup needs hardware \
+                     parallelism; the >=2x criterion is asserted by \
+                     tests/engine_determinism.rs on 4+-core machines",
+                    self.host_parallelism
+                )),
+            ));
+        }
+        pairs.extend(vec![
+            ("instructions", Json::num(self.instructions as f64)),
+            (
+                "workload_limit",
+                match self.workload_limit {
+                    Some(w) => Json::int(w),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "experiments",
+                Json::arr(
+                    self.experiments
+                        .iter()
+                        .map(|e| {
+                            Json::obj(vec![
+                                ("name", Json::str(&e.name)),
+                                ("serial_ms", Json::num(e.serial.as_secs_f64() * 1e3)),
+                                ("parallel_ms", Json::num(e.parallel.as_secs_f64() * 1e3)),
+                                ("speedup", Json::num(e.speedup())),
+                                ("identical_to_serial", Json::Bool(e.identical)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "total_serial_ms",
+                Json::num(self.total_serial().as_secs_f64() * 1e3),
+            ),
+            (
+                "total_parallel_ms",
+                Json::num(self.total_parallel().as_secs_f64() * 1e3),
+            ),
+            ("overall_speedup", Json::num(self.overall_speedup())),
+            ("all_identical_to_serial", Json::Bool(self.all_identical())),
+        ]);
+        Json::obj(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> BenchReport {
+        BenchReport {
+            jobs: 4,
+            host_parallelism: 8,
+            instructions: 40_000,
+            workload_limit: Some(12),
+            experiments: vec![
+                ExperimentBench {
+                    name: "fig7".into(),
+                    serial: Duration::from_millis(4000),
+                    parallel: Duration::from_millis(1000),
+                    identical: true,
+                },
+                ExperimentBench {
+                    name: "tab4".into(),
+                    serial: Duration::from_millis(10),
+                    parallel: Duration::from_millis(10),
+                    identical: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn speedups_are_computed_from_totals() {
+        let r = report();
+        assert!((r.experiments[0].speedup() - 4.0).abs() < 1e-9);
+        assert!((r.overall_speedup() - 4010.0 / 1010.0).abs() < 1e-9);
+        assert!(r.all_identical());
+    }
+
+    #[test]
+    fn json_snapshot_has_the_expected_fields() {
+        let text = report().to_json().to_pretty();
+        for field in [
+            "athena-engine-bench-v1",
+            "\"jobs\": 4",
+            "\"name\": \"fig7\"",
+            "serial_ms",
+            "overall_speedup",
+            "all_identical_to_serial",
+        ] {
+            assert!(text.contains(field), "missing {field} in {text}");
+        }
+    }
+
+    #[test]
+    fn sub_four_thread_hosts_get_an_explanatory_note() {
+        let mut r = report();
+        assert!(!r.to_json().to_string().contains("\"note\""));
+        r.host_parallelism = 1;
+        let text = r.to_json().to_string();
+        assert!(text.contains("\"note\":\"measured on a 1-thread host"));
+    }
+
+    #[test]
+    fn figure_report_embeds_table_and_cells() {
+        let mut table = ExperimentTable::new("T", "policy", vec!["overall".into()]);
+        table.push_row("athena", vec![1.1]);
+        let cells = vec![CellRecord {
+            experiment: "fig7".into(),
+            label: "w/athena/<popet, pythia>".into(),
+            seed: 7,
+            wall: Duration::from_millis(3),
+            error: None,
+        }];
+        let text = figure_report("fig7", 2, Duration::from_millis(5), &table, &cells).to_string();
+        assert!(text.contains("athena-figure-result-v1"));
+        assert!(text.contains("\"cell_count\":1"));
+        assert!(text.contains("\"failed_cells\":0"));
+        assert!(text.contains("\"label\":\"w/athena/<popet, pythia>\""));
+    }
+}

@@ -1,6 +1,11 @@
-//! Tabular experiment results: pretty printing and CSV export.
+//! Tabular experiment results: pretty printing, CSV and JSON export.
+//!
+//! (Moved here from `athena-harness` so the engine's report writer can serialise tables
+//! without a circular dependency; the harness re-exports it unchanged.)
 
 use std::fmt;
+
+use crate::json::Json;
 
 /// A rectangular results table: one row per configuration/policy, one column per category
 /// or parameter value, with a title matching the paper figure it reproduces.
@@ -54,17 +59,26 @@ impl ExperimentTable {
             .map(|(_, values)| values[col])
     }
 
-    /// Serialises the table as CSV (header row first).
+    /// Serialises the table as CSV (header row first). Labels containing commas, quotes or
+    /// newlines are quoted per RFC 4180 — tab3's row labels (`alpha=0.2, gamma=0.3`) would
+    /// otherwise split across columns.
     pub fn to_csv(&self) -> String {
+        let field = |s: &str| -> String {
+            if s.contains([',', '"', '\n', '\r']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
         let mut out = String::new();
-        out.push_str(&self.row_label);
+        out.push_str(&field(&self.row_label));
         for c in &self.columns {
             out.push(',');
-            out.push_str(c);
+            out.push_str(&field(c));
         }
         out.push('\n');
         for (label, values) in &self.rows {
-            out.push_str(label);
+            out.push_str(&field(label));
             for v in values {
                 out.push(',');
                 out.push_str(&format!("{v:.4}"));
@@ -72,6 +86,35 @@ impl ExperimentTable {
             out.push('\n');
         }
         out
+    }
+
+    /// Serialises the table as a JSON value (for the engine's machine-readable reports).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("title", Json::str(&self.title)),
+            ("row_label", Json::str(&self.row_label)),
+            (
+                "columns",
+                Json::arr(self.columns.iter().map(Json::str).collect()),
+            ),
+            (
+                "rows",
+                Json::arr(
+                    self.rows
+                        .iter()
+                        .map(|(label, values)| {
+                            Json::obj(vec![
+                                ("label", Json::str(label)),
+                                (
+                                    "values",
+                                    Json::arr(values.iter().map(|&v| Json::num(v)).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 
@@ -139,6 +182,26 @@ mod tests {
         let text = format!("{}", table());
         assert!(text.contains("Figure X"));
         assert!(text.contains("athena"));
+    }
+
+    #[test]
+    fn csv_quotes_labels_containing_commas() {
+        let mut t = ExperimentTable::new("DSE", "configuration", vec!["overall".to_string()]);
+        t.push_row("alpha=0.2, gamma=0.3", vec![1.01]);
+        t.push_row("plain", vec![1.02]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines[1], "\"alpha=0.2, gamma=0.3\",1.0100");
+        assert_eq!(lines[2], "plain,1.0200");
+    }
+
+    #[test]
+    fn json_export_has_rows_and_columns() {
+        let text = table().to_json().to_string();
+        assert!(text.contains("\"title\":\"Figure X\""));
+        assert!(text.contains("\"columns\":[\"adverse\",\"friendly\"]"));
+        assert!(text.contains("\"label\":\"athena\""));
+        assert!(text.contains("1.05"));
     }
 
     #[test]

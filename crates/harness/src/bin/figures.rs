@@ -1,14 +1,25 @@
-//! The `figures` CLI: regenerates the paper's tables and figures.
+//! The `figures` CLI: regenerates the paper's tables and figures on the parallel
+//! experiment engine.
 //!
 //! ```text
 //! cargo run --release -p athena-harness --bin figures -- --fig fig7
-//! cargo run --release -p athena-harness --bin figures -- --all --quick
-//! cargo run --release -p athena-harness --bin figures -- --fig fig14 --instructions 500000 --out results/
+//! cargo run --release -p athena-harness --bin figures -- --all --quick --jobs 4
+//! cargo run --release -p athena-harness --bin figures -- --all --quick --json --out results/
+//! cargo run --release -p athena-harness --bin figures -- --all --quick --bench-report
 //! ```
+//!
+//! `--jobs N` sets the engine worker count (default: every hardware thread); `--jobs 1` is
+//! the exact serial path and produces byte-identical tables. `--json` writes one
+//! machine-readable result file per experiment (aggregate table + per-cell records).
+//! `--bench-report` times every selected experiment at `--jobs 1` and at the parallel
+//! worker count, verifies the tables match byte-for-byte, and writes the
+//! `BENCH_engine.json` performance snapshot.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
+use athena_engine::report::{figure_report, BenchReport, ExperimentBench};
+use athena_engine::{available_parallelism, with_recording};
 use athena_harness::experiments::{experiment_names, run_experiment};
 use athena_harness::RunOptions;
 
@@ -16,6 +27,11 @@ struct Args {
     figs: Vec<String>,
     opts: RunOptions,
     out_dir: Option<PathBuf>,
+    json: bool,
+    bench_report: bool,
+    /// The parallel worker count used by `--bench-report` (the `--jobs` flag, or every
+    /// hardware thread when the flag is absent).
+    parallel_jobs: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -24,7 +40,10 @@ fn parse_args() -> Result<Args, String> {
     let mut quick = false;
     let mut instructions: Option<u64> = None;
     let mut workload_limit: Option<usize> = None;
+    let mut jobs: Option<usize> = None;
     let mut out_dir = None;
+    let mut json = false;
+    let mut bench_report = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -32,6 +51,8 @@ fn parse_args() -> Result<Args, String> {
             "--fig" => figs.push(args.next().ok_or("--fig needs a value")?),
             "--all" => all = true,
             "--quick" => quick = true,
+            "--json" => json = true,
+            "--bench-report" => bench_report = true,
             "--instructions" => {
                 instructions = Some(
                     args.next()
@@ -48,6 +69,17 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad --workloads: {e}"))?,
                 )
             }
+            "--jobs" => {
+                let n: usize = args
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --jobs: {e}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                jobs = Some(n);
+            }
             "--out" => out_dir = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
             "--list" => {
                 for n in experiment_names() {
@@ -57,13 +89,20 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--fig <id>]... [--all] [--quick] \
-                     [--instructions N] [--workloads N] [--out DIR] [--list]"
+                    "usage: figures [--fig <id>]... [--all] [--quick] [--jobs N] \
+                     [--instructions N] [--workloads N] [--out DIR] [--json] \
+                     [--bench-report] [--list]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument: {other}")),
         }
+    }
+    if bench_report && json {
+        return Err(
+            "--bench-report writes only BENCH_engine.json; drop --json or run them separately"
+                .to_string(),
+        );
     }
     if all {
         figs = experiment_names().iter().map(|s| s.to_string()).collect();
@@ -82,11 +121,89 @@ fn parse_args() -> Result<Args, String> {
     if let Some(w) = workload_limit {
         opts.workload_limit = Some(w);
     }
+    let parallel_jobs = jobs.unwrap_or_else(available_parallelism);
+    opts.jobs = parallel_jobs;
     Ok(Args {
         figs,
         opts,
         out_dir,
+        json,
+        bench_report,
+        parallel_jobs,
     })
+}
+
+fn write_file(path: &std::path::Path, contents: &str) {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: cannot create {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", path.display());
+}
+
+/// `--bench-report`: every selected experiment at `--jobs 1` vs the parallel worker count,
+/// with a byte-identity check between the two tables.
+fn run_bench_report(args: &Args) {
+    let mut experiments = Vec::new();
+    for fig in &args.figs {
+        let serial_opts = args.opts.with_jobs(1);
+        let start = Instant::now();
+        let Some(serial_table) = run_experiment(fig, serial_opts) else {
+            eprintln!("error: unknown experiment '{fig}' (see --list)");
+            std::process::exit(2);
+        };
+        let serial = start.elapsed();
+
+        let start = Instant::now();
+        let parallel_table =
+            run_experiment(fig, args.opts.with_jobs(args.parallel_jobs)).expect("known experiment");
+        let parallel = start.elapsed();
+
+        let identical = serial_table.to_csv() == parallel_table.to_csv();
+        println!(
+            "{fig}: serial {serial:.1?}, parallel {parallel:.1?} ({} jobs), speedup {:.2}x, \
+             identical: {identical}",
+            args.parallel_jobs,
+            serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9),
+        );
+        experiments.push(ExperimentBench {
+            name: fig.clone(),
+            serial,
+            parallel,
+            identical,
+        });
+    }
+    let report = BenchReport {
+        jobs: args.parallel_jobs,
+        host_parallelism: available_parallelism(),
+        instructions: args.opts.instructions,
+        workload_limit: args.opts.workload_limit,
+        experiments,
+    };
+    println!(
+        "overall: {:.2}x speedup with {} jobs, all tables identical to serial: {}",
+        report.overall_speedup(),
+        report.jobs,
+        report.all_identical()
+    );
+    if !report.all_identical() {
+        eprintln!("error: parallel tables diverged from the serial run");
+        std::process::exit(1);
+    }
+    // `--out DIR` relocates the snapshot; by default it lands in the working directory.
+    let path = match &args.out_dir {
+        Some(dir) => dir.join("BENCH_engine.json"),
+        None => PathBuf::from("BENCH_engine.json"),
+    };
+    write_file(&path, &report.to_json().to_pretty());
 }
 
 fn main() {
@@ -97,23 +214,32 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.bench_report {
+        run_bench_report(&args);
+        return;
+    }
+    // `--json` without an explicit directory lands next to the CSVs or in `results/`.
+    let json_dir = args
+        .out_dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("results"));
     for fig in &args.figs {
         let start = Instant::now();
-        match run_experiment(fig, args.opts) {
+        let (table, cells) = with_recording(|| run_experiment(fig, args.opts));
+        let elapsed = start.elapsed();
+        match table {
             Some(table) => {
                 println!("{table}");
-                println!("[{fig} completed in {:.1?}]\n", start.elapsed());
+                println!(
+                    "[{fig} completed in {elapsed:.1?} with {} jobs]\n",
+                    args.opts.jobs
+                );
                 if let Some(dir) = &args.out_dir {
-                    if let Err(e) = std::fs::create_dir_all(dir) {
-                        eprintln!("error: cannot create {}: {e}", dir.display());
-                        std::process::exit(1);
-                    }
-                    let path = dir.join(format!("{fig}.csv"));
-                    if let Err(e) = std::fs::write(&path, table.to_csv()) {
-                        eprintln!("error: cannot write {}: {e}", path.display());
-                        std::process::exit(1);
-                    }
-                    println!("wrote {}", path.display());
+                    write_file(&dir.join(format!("{fig}.csv")), &table.to_csv());
+                }
+                if args.json {
+                    let doc = figure_report(fig, args.opts.jobs, elapsed, &table, &cells);
+                    write_file(&json_dir.join(format!("{fig}.json")), &doc.to_pretty());
                 }
             }
             None => {

@@ -14,14 +14,15 @@
 use std::collections::HashMap;
 
 use athena_core::{AthenaConfig, Feature, RewardWeights};
+use athena_engine::{CellResult, Engine, Job};
 use athena_workloads::{
     all_workloads, google_like_workloads, mixes, tuning_workloads, MixCategory, Suite, WorkloadSpec,
 };
 
 use crate::run::default_athena_config;
 use crate::{
-    geomean, simulate, simulate_multicore, CoordinatorKind, ExperimentTable, OcpKind,
-    PrefetcherKind, RunOptions, RunResult, SystemConfig,
+    geomean, CoordinatorKind, ExperimentTable, OcpKind, PrefetcherKind, RunOptions, RunResult,
+    SystemConfig,
 };
 
 /// The workload categories used as columns in most category tables.
@@ -63,6 +64,39 @@ fn workload_set(opts: RunOptions) -> Vec<WorkloadSpec> {
     w
 }
 
+/// Enumerates one engine job per workload for one (config, policy) pair.
+fn single_jobs(
+    experiment: &str,
+    specs: &[WorkloadSpec],
+    config: &SystemConfig,
+    kind: &CoordinatorKind,
+    opts: RunOptions,
+) -> Vec<Job> {
+    specs
+        .iter()
+        .map(|spec| {
+            Job::single(
+                experiment,
+                spec.clone(),
+                config.clone(),
+                kind.clone(),
+                opts.instructions,
+            )
+        })
+        .collect()
+}
+
+/// Executes a batch of single-core jobs on the experiment engine (`opts.jobs` workers) and
+/// returns the results in submission order. Every cell is a pure function of its job, so
+/// the returned results are bit-identical at any worker count.
+fn run_batch(jobs: Vec<Job>, opts: RunOptions) -> Vec<RunResult> {
+    Engine::new(opts.jobs)
+        .run(jobs)
+        .into_iter()
+        .map(CellResult::into_single)
+        .collect()
+}
+
 /// All per-workload results for one policy.
 struct PolicyRuns {
     /// Speedup over the no-prefetching/no-OCP baseline, per workload (same order as specs).
@@ -83,33 +117,45 @@ struct Sweep {
 }
 
 impl Sweep {
-    fn run(config: &SystemConfig, policies: &[(&str, CoordinatorKind)], opts: RunOptions) -> Self {
-        Self::run_on(workload_set(opts), config, policies, opts)
+    fn run(
+        experiment: &str,
+        config: &SystemConfig,
+        policies: &[(&str, CoordinatorKind)],
+        opts: RunOptions,
+    ) -> Self {
+        Self::run_on(experiment, workload_set(opts), config, policies, opts)
     }
 
+    /// Enumerates every (workload × policy) cell of the sweep — plus the shared baseline
+    /// and classification runs — as one engine batch, then slices the in-order results back
+    /// out per policy. The classification runs double as the `prefetchers-only` policy
+    /// runs, exactly like the original serial loop did.
     fn run_on(
+        experiment: &str,
         specs: Vec<WorkloadSpec>,
         config: &SystemConfig,
         policies: &[(&str, CoordinatorKind)],
         opts: RunOptions,
     ) -> Self {
-        let baseline: Vec<RunResult> = specs
-            .iter()
-            .map(|s| simulate(s, config, CoordinatorKind::Baseline, opts.instructions))
-            .collect();
+        let n = specs.len();
+        let mut jobs = single_jobs(experiment, &specs, config, &CoordinatorKind::Baseline, opts);
+        jobs.extend(single_jobs(
+            experiment,
+            &specs,
+            config,
+            &CoordinatorKind::PrefetchersOnly,
+            opts,
+        ));
+        for (_, kind) in policies {
+            if *kind != CoordinatorKind::PrefetchersOnly {
+                jobs.extend(single_jobs(experiment, &specs, config, kind, opts));
+            }
+        }
+        let mut results = run_batch(jobs, opts).into_iter();
 
+        let baseline: Vec<RunResult> = results.by_ref().take(n).collect();
         // Classification run: prefetchers only.
-        let classify: Vec<RunResult> = specs
-            .iter()
-            .map(|s| {
-                simulate(
-                    s,
-                    config,
-                    CoordinatorKind::PrefetchersOnly,
-                    opts.instructions,
-                )
-            })
-            .collect();
+        let classify: Vec<RunResult> = results.by_ref().take(n).collect();
         let adverse_idx: Vec<usize> = classify
             .iter()
             .zip(baseline.iter())
@@ -123,10 +169,7 @@ impl Sweep {
             let runs: Vec<RunResult> = match kind {
                 // Reuse the classification runs for the prefetchers-only policy.
                 CoordinatorKind::PrefetchersOnly => classify.clone(),
-                _ => specs
-                    .iter()
-                    .map(|s| simulate(s, config, kind.clone(), opts.instructions))
-                    .collect(),
+                _ => results.by_ref().take(n).collect(),
             };
             let speedups = runs
                 .iter()
@@ -248,6 +291,7 @@ fn cd4() -> SystemConfig {
 pub fn fig1(opts: RunOptions) -> ExperimentTable {
     let config = cd1();
     let sweep = Sweep::run(
+        "fig1",
         &config,
         &[
             ("popet", CoordinatorKind::OcpOnly),
@@ -280,7 +324,7 @@ pub fn fig2(opts: RunOptions) -> ExperimentTable {
     policies.retain(|(n, _)| *n != "baseline-combo");
     let mut all = static_combo_policies();
     all.extend_from_slice(&[]);
-    let sweep = Sweep::run(&config, &all, opts);
+    let sweep = Sweep::run("fig2", &config, &all, opts);
     let mut table = ExperimentTable::new(
         "Figure 2: naive combination vs StaticBest",
         "combination",
@@ -314,24 +358,29 @@ pub fn fig3(opts: RunOptions) -> ExperimentTable {
         "prefetcher",
         vec!["mean".into(), "q1".into(), "median".into(), "q3".into()],
     );
-    for (label, config) in [
+    let configs = [
         (
             "ipcp@L1D",
             SystemConfig::cd2(PrefetcherKind::Ipcp, OcpKind::Popet),
         ),
         ("pythia@L2C", cd1()),
-    ] {
-        let mut fractions: Vec<f64> = specs
-            .iter()
-            .map(|s| {
-                let r = simulate(
-                    s,
-                    &config,
-                    CoordinatorKind::PrefetchersOnly,
-                    opts.instructions,
-                );
-                r.stats.offchip_prefetch_inaccuracy()
-            })
+    ];
+    let mut jobs = Vec::new();
+    for (_, config) in &configs {
+        jobs.extend(single_jobs(
+            "fig3",
+            &specs,
+            config,
+            &CoordinatorKind::PrefetchersOnly,
+            opts,
+        ));
+    }
+    let mut results = run_batch(jobs, opts).into_iter();
+    for (label, _) in configs {
+        let mut fractions: Vec<f64> = results
+            .by_ref()
+            .take(specs.len())
+            .map(|r| r.stats.offchip_prefetch_inaccuracy())
             .collect();
         fractions.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mean = fractions.iter().sum::<f64>() / fractions.len().max(1) as f64;
@@ -347,7 +396,7 @@ pub fn fig4(opts: RunOptions) -> ExperimentTable {
     let mut policies = static_combo_policies();
     policies.push(("hpac", CoordinatorKind::Hpac));
     policies.push(("mab", CoordinatorKind::Mab));
-    let sweep = Sweep::run(&config, &policies, opts);
+    let sweep = Sweep::run("fig4", &config, &policies, opts);
     let columns = ["prefetcher-adverse", "prefetcher-friendly", "overall"];
     let mut table = ExperimentTable::new(
         "Figure 4: prior coordination policies vs Naive and StaticBest (CD1)",
@@ -403,7 +452,7 @@ fn cache_design_row_order(include_tlp: bool) -> Vec<&'static str> {
 
 /// Figure 7: speedup in cache design 1 (OCP + Pythia at L2C).
 pub fn fig7(opts: RunOptions) -> ExperimentTable {
-    let sweep = Sweep::run(&cd1(), &cache_design_policies(false), opts);
+    let sweep = Sweep::run("fig7", &cd1(), &cache_design_policies(false), opts);
     sweep.category_table(
         "Figure 7: speedup in CD1 (POPET + Pythia@L2C)",
         &cache_design_row_order(false),
@@ -412,7 +461,7 @@ pub fn fig7(opts: RunOptions) -> ExperimentTable {
 
 /// Figure 8(a): workload-category quartile statistics in CD1.
 pub fn fig8a(opts: RunOptions) -> ExperimentTable {
-    let sweep = Sweep::run(&cd1(), &cache_design_policies(false), opts);
+    let sweep = Sweep::run("fig8a", &cd1(), &cache_design_policies(false), opts);
     let mut table = ExperimentTable::new(
         "Figure 8a: per-category speedup quartiles in CD1",
         "policy",
@@ -454,7 +503,7 @@ pub fn fig8b(opts: RunOptions) -> ExperimentTable {
     policies.push(("hpac", CoordinatorKind::Hpac));
     policies.push(("mab", CoordinatorKind::Mab));
     policies.push(("athena", CoordinatorKind::Athena));
-    let sweep = Sweep::run(&config, &policies, opts);
+    let sweep = Sweep::run("fig8b", &config, &policies, opts);
     let columns = ["prefetcher-adverse", "prefetcher-friendly", "overall"];
     let mut table = ExperimentTable::new(
         "Figure 8b: Athena vs StaticBest (CD1)",
@@ -483,7 +532,7 @@ pub fn fig8b(opts: RunOptions) -> ExperimentTable {
 /// Figure 9: speedup in cache design 2 (OCP + IPCP at L1D), including TLP.
 pub fn fig9(opts: RunOptions) -> ExperimentTable {
     let config = SystemConfig::cd2(PrefetcherKind::Ipcp, OcpKind::Popet);
-    let sweep = Sweep::run(&config, &cache_design_policies(true), opts);
+    let sweep = Sweep::run("fig9", &config, &cache_design_policies(true), opts);
     sweep.category_table(
         "Figure 9: speedup in CD2 (POPET + IPCP@L1D)",
         &cache_design_row_order(true),
@@ -493,7 +542,7 @@ pub fn fig9(opts: RunOptions) -> ExperimentTable {
 /// Figure 10: speedup in cache design 3 (OCP + SMS and Pythia at L2C).
 pub fn fig10(opts: RunOptions) -> ExperimentTable {
     let config = SystemConfig::cd3(PrefetcherKind::Sms, PrefetcherKind::Pythia, OcpKind::Popet);
-    let sweep = Sweep::run(&config, &cache_design_policies(false), opts);
+    let sweep = Sweep::run("fig10", &config, &cache_design_policies(false), opts);
     sweep.category_table(
         "Figure 10: speedup in CD3 (POPET + SMS+Pythia@L2C)",
         &cache_design_row_order(false),
@@ -502,7 +551,7 @@ pub fn fig10(opts: RunOptions) -> ExperimentTable {
 
 /// Figure 11: speedup in cache design 4 (OCP + IPCP at L1D + Pythia at L2C), including TLP.
 pub fn fig11(opts: RunOptions) -> ExperimentTable {
-    let sweep = Sweep::run(&cd4(), &cache_design_policies(true), opts);
+    let sweep = Sweep::run("fig11", &cd4(), &cache_design_policies(true), opts);
     sweep.category_table(
         "Figure 11: speedup in CD4 (POPET + IPCP@L1D + Pythia@L2C)",
         &cache_design_row_order(true),
@@ -514,6 +563,7 @@ pub fn fig11(opts: RunOptions) -> ExperimentTable {
 // ---------------------------------------------------------------------------------------
 
 fn overall_sweep_table(
+    experiment: &str,
     title: &str,
     configs: Vec<(String, SystemConfig)>,
     policies: &[(&str, CoordinatorKind)],
@@ -527,7 +577,7 @@ fn overall_sweep_table(
     );
     let mut cells: HashMap<(String, String), f64> = HashMap::new();
     for (col, config) in &configs {
-        let sweep = Sweep::run(config, policies, opts);
+        let sweep = Sweep::run(experiment, config, policies, opts);
         for policy in row_order {
             let v = sweep.geomean_speedup(policy, &sweep.indices_for("overall"));
             cells.insert((policy.to_string(), col.clone()), v);
@@ -555,6 +605,7 @@ pub fn fig12a(opts: RunOptions) -> ExperimentTable {
     .map(|p| (p.name().to_string(), SystemConfig::cd1(*p, OcpKind::Popet)))
     .collect();
     overall_sweep_table(
+        "fig12a",
         "Figure 12a: sensitivity to the L2C prefetcher type (CD1, overall geomean)",
         configs,
         &cache_design_policies(false),
@@ -575,6 +626,7 @@ pub fn fig12b(opts: RunOptions) -> ExperimentTable {
         })
         .collect();
     overall_sweep_table(
+        "fig12b",
         "Figure 12b: sensitivity to the off-chip predictor type (CD1, overall geomean)",
         configs,
         &cache_design_policies(false),
@@ -590,6 +642,7 @@ pub fn fig12c(opts: RunOptions) -> ExperimentTable {
         .map(|lat| (format!("{lat}-cycles"), cd1().with_ocp_issue_latency(*lat)))
         .collect();
     overall_sweep_table(
+        "fig12c",
         "Figure 12c: sensitivity to the OCP request issue latency (CD1, overall geomean)",
         configs,
         &cache_design_policies(false),
@@ -610,6 +663,7 @@ pub fn fig13(opts: RunOptions) -> ExperimentTable {
         })
         .collect();
     overall_sweep_table(
+        "fig13",
         "Figure 13: sensitivity to the L1D prefetcher type (CD4, overall geomean)",
         configs,
         &cache_design_policies(true),
@@ -625,6 +679,7 @@ pub fn fig14(opts: RunOptions) -> ExperimentTable {
         .map(|bw| (format!("{bw}GB/s"), cd4().with_bandwidth(*bw)))
         .collect();
     overall_sweep_table(
+        "fig14",
         "Figure 14: sensitivity to main-memory bandwidth (CD4, overall geomean)",
         configs,
         &cache_design_policies(true),
@@ -645,7 +700,7 @@ pub fn fig14(opts: RunOptions) -> ExperimentTable {
 // Multi-core
 // ---------------------------------------------------------------------------------------
 
-fn multicore_fig(title: &str, cores: usize, opts: RunOptions) -> ExperimentTable {
+fn multicore_fig(experiment: &str, title: &str, cores: usize, opts: RunOptions) -> ExperimentTable {
     // The paper uses 30 mixes per category; scale down with the workload limit so quick
     // runs stay quick.
     let per_category = match opts.workload_limit {
@@ -670,20 +725,37 @@ fn multicore_fig(title: &str, cores: usize, opts: RunOptions) -> ExperimentTable
     );
     let instructions = opts.instructions / 2;
 
-    // Baselines per mix.
-    let baselines: Vec<_> = mix_list
-        .iter()
-        .map(|m| simulate_multicore(m, &config, CoordinatorKind::Baseline, instructions))
-        .collect();
+    // One engine batch: the per-mix baselines followed by every (policy × mix) cell.
+    let multicore_jobs = |kind: &CoordinatorKind| -> Vec<Job> {
+        mix_list
+            .iter()
+            .map(|m| {
+                Job::multicore(
+                    experiment,
+                    m.clone(),
+                    config.clone(),
+                    kind.clone(),
+                    instructions,
+                )
+            })
+            .collect()
+    };
+    let mut jobs = multicore_jobs(&CoordinatorKind::Baseline);
+    for (_, kind) in &policies {
+        jobs.extend(multicore_jobs(kind));
+    }
+    let mut results = Engine::new(opts.jobs)
+        .run(jobs)
+        .into_iter()
+        .map(CellResult::into_multi);
+    let baselines: Vec<_> = results.by_ref().take(mix_list.len()).collect();
 
-    for (name, kind) in policies {
+    for (name, _) in policies {
         let speedups: Vec<(MixCategory, f64)> = mix_list
             .iter()
             .zip(baselines.iter())
-            .map(|(m, base)| {
-                let run = simulate_multicore(m, &config, kind.clone(), instructions);
-                (m.category, run.geomean_speedup_over(base))
-            })
+            .zip(results.by_ref().take(mix_list.len()))
+            .map(|((m, base), run)| (m.category, run.geomean_speedup_over(base)))
             .collect();
         let row: Vec<f64> = columns
             .iter()
@@ -708,12 +780,12 @@ fn multicore_fig(title: &str, cores: usize, opts: RunOptions) -> ExperimentTable
 
 /// Figure 15: four-core workload mixes in CD1.
 pub fn fig15(opts: RunOptions) -> ExperimentTable {
-    multicore_fig("Figure 15: four-core mixes (CD1)", 4, opts)
+    multicore_fig("fig15", "Figure 15: four-core mixes (CD1)", 4, opts)
 }
 
 /// Figure 16: eight-core workload mixes in CD1.
 pub fn fig16(opts: RunOptions) -> ExperimentTable {
-    multicore_fig("Figure 16: eight-core mixes (CD1)", 8, opts)
+    multicore_fig("fig16", "Figure 16: eight-core mixes (CD1)", 8, opts)
 }
 
 // ---------------------------------------------------------------------------------------
@@ -742,18 +814,34 @@ pub fn fig17(opts: RunOptions) -> ExperimentTable {
         ("speedup: naive".into(), Vec::new()),
         ("speedup: athena".into(), Vec::new()),
     ];
+    // Both bandwidth points and all five policies as one ten-cell engine batch.
+    let case_kinds = [
+        CoordinatorKind::Baseline,
+        CoordinatorKind::OcpOnly,
+        CoordinatorKind::PrefetchersOnly,
+        CoordinatorKind::Naive,
+        CoordinatorKind::Athena,
+    ];
+    let mut jobs = Vec::new();
     for bw in [3.2, 25.6] {
         let config = cd1().with_bandwidth(bw);
-        let base = simulate(&spec, &config, CoordinatorKind::Baseline, opts.instructions);
-        let ocp = simulate(&spec, &config, CoordinatorKind::OcpOnly, opts.instructions);
-        let pf = simulate(
-            &spec,
-            &config,
-            CoordinatorKind::PrefetchersOnly,
-            opts.instructions,
-        );
-        let naive = simulate(&spec, &config, CoordinatorKind::Naive, opts.instructions);
-        let athena = simulate(&spec, &config, CoordinatorKind::Athena, opts.instructions);
+        for kind in &case_kinds {
+            jobs.push(Job::single(
+                "fig17",
+                spec.clone(),
+                config.clone(),
+                kind.clone(),
+                opts.instructions,
+            ));
+        }
+    }
+    let mut results = run_batch(jobs, opts).into_iter();
+    for _bw in [3.2, 25.6] {
+        let base = results.next().expect("baseline cell");
+        let ocp = results.next().expect("ocp cell");
+        let pf = results.next().expect("prefetchers cell");
+        let naive = results.next().expect("naive cell");
+        let athena = results.next().expect("athena cell");
         // Reconstruct the action distribution from epoch telemetry: which mechanisms were
         // active in each epoch.
         let mut counts = [0u64; 4];
@@ -831,7 +919,7 @@ pub fn fig18(opts: RunOptions) -> ExperimentTable {
     ];
     let policy_refs: Vec<(&str, CoordinatorKind)> =
         steps.iter().map(|(n, k)| (*n, k.clone())).collect();
-    let sweep = Sweep::run(&config, &policy_refs, opts);
+    let sweep = Sweep::run("fig18", &config, &policy_refs, opts);
     let mut table = ExperimentTable::new(
         "Figure 18: contribution of state features and the composite reward (CD1, overall geomean)",
         "configuration",
@@ -872,7 +960,7 @@ pub fn fig19(opts: RunOptions) -> ExperimentTable {
         ("mab", CoordinatorKind::Mab),
         ("athena", CoordinatorKind::Athena),
     ];
-    let sweep = Sweep::run(&config, &policies, opts);
+    let sweep = Sweep::run("fig19", &config, &policies, opts);
     sweep.category_table(
         "Figure 19: prefetcher-only management (SMS+Pythia@L2C, no OCP)",
         &["prefetchers-only", "hpac", "mab", "athena"],
@@ -886,6 +974,7 @@ pub fn fig19(opts: RunOptions) -> ExperimentTable {
 /// Figure 20(a): main-memory requests, normalised to the baseline, per policy (CD1).
 pub fn fig20a(opts: RunOptions) -> ExperimentTable {
     normalised_stat_fig(
+        "fig20a",
         "Figure 20a: main-memory requests normalised to no-prefetching/no-OCP (CD1)",
         opts,
         |r| r.stats.dram_total_requests as f64,
@@ -895,6 +984,7 @@ pub fn fig20a(opts: RunOptions) -> ExperimentTable {
 /// Figure 20(b): average LLC miss latency, normalised to the baseline, per policy (CD1).
 pub fn fig20b(opts: RunOptions) -> ExperimentTable {
     normalised_stat_fig(
+        "fig20b",
         "Figure 20b: average LLC load miss latency normalised to no-prefetching/no-OCP (CD1)",
         opts,
         |r| r.stats.avg_llc_miss_latency(),
@@ -902,11 +992,12 @@ pub fn fig20b(opts: RunOptions) -> ExperimentTable {
 }
 
 fn normalised_stat_fig(
+    experiment: &str,
     title: &str,
     opts: RunOptions,
     stat: fn(&RunResult) -> f64,
 ) -> ExperimentTable {
-    let sweep = Sweep::run(&cd1(), &cache_design_policies(false), opts);
+    let sweep = Sweep::run(experiment, &cd1(), &cache_design_policies(false), opts);
     let columns = ["prefetcher-adverse", "prefetcher-friendly", "overall"];
     let mut table = ExperimentTable::new(
         title,
@@ -936,7 +1027,7 @@ pub fn fig21(opts: RunOptions) -> ExperimentTable {
     if let Some(limit) = opts.workload_limit {
         specs.truncate(limit.max(3));
     }
-    let sweep = Sweep::run_on(specs, &cd4(), &cache_design_policies(true), opts);
+    let sweep = Sweep::run_on("fig21", specs, &cd4(), &cache_design_policies(true), opts);
     let mut table = ExperimentTable::new(
         "Figure 21: unseen Google-like workloads (CD4)",
         "policy",
@@ -977,24 +1068,26 @@ pub fn tab3_dse(opts: RunOptions) -> ExperimentTable {
         (0.6, 0.9),
         (0.9, 0.6),
     ];
-    let baseline: Vec<RunResult> = specs
-        .iter()
-        .map(|s| simulate(s, &config, CoordinatorKind::Baseline, opts.instructions))
-        .collect();
+    // One batch: the shared baselines plus every grid point's runs.
+    let mut jobs = single_jobs("tab3", &specs, &config, &CoordinatorKind::Baseline, opts);
     for (alpha, gamma) in grid {
         let cfg = default_athena_config().with_hyperparameters(alpha, gamma, 0.05, 0.12);
-        let speedups: Vec<f64> = specs
-            .iter()
+        jobs.extend(single_jobs(
+            "tab3",
+            &specs,
+            &config,
+            &CoordinatorKind::AthenaWith(cfg),
+            opts,
+        ));
+    }
+    let mut results = run_batch(jobs, opts).into_iter();
+    let baseline: Vec<RunResult> = results.by_ref().take(specs.len()).collect();
+    for (alpha, gamma) in grid {
+        let speedups: Vec<f64> = results
+            .by_ref()
+            .take(specs.len())
             .zip(baseline.iter())
-            .map(|(s, b)| {
-                let r = simulate(
-                    s,
-                    &config,
-                    CoordinatorKind::AthenaWith(cfg.clone()),
-                    opts.instructions,
-                );
-                r.ipc / b.ipc.max(1e-12)
-            })
+            .map(|(r, b)| r.ipc / b.ipc.max(1e-12))
             .collect();
         table.push_row(
             format!("alpha={alpha}, gamma={gamma}"),
@@ -1078,6 +1171,7 @@ mod tests {
         RunOptions {
             instructions: 10_000,
             workload_limit: Some(4),
+            jobs: 2,
         }
     }
 
@@ -1108,7 +1202,7 @@ mod tests {
 
     #[test]
     fn static_best_is_at_least_naive() {
-        let sweep = Sweep::run(&cd1(), &static_combo_policies(), tiny());
+        let sweep = Sweep::run("test", &cd1(), &static_combo_policies(), tiny());
         let idx = sweep.indices_for("overall");
         let naive = sweep.geomean_speedup("naive", &idx);
         let best = sweep.static_best(&idx);

@@ -10,9 +10,11 @@
 //! * [`simulate`] — one single-core run of a workload under a configuration and policy;
 //! * [`experiments`] — one function per paper figure (`fig1()` … `fig21()`, plus the DSE
 //!   and storage tables), each returning an [`ExperimentTable`] that can be printed or
-//!   written as CSV;
+//!   written as CSV/JSON. Every experiment enumerates its simulation cells as jobs on the
+//!   `athena-engine` worker pool; [`RunOptions::jobs`] picks the worker count and the
+//!   results are bit-identical at any value;
 //! * the `figures` binary — `cargo run --release -p athena-harness --bin figures -- --fig
-//!   fig7`.
+//!   fig7 --jobs 8`.
 //!
 //! ```no_run
 //! use athena_harness::{simulate, CoordinatorKind, OcpKind, PrefetcherKind, SystemConfig};
@@ -29,13 +31,12 @@
 
 pub mod experiments;
 mod run;
-mod table;
 
+pub use athena_engine::ExperimentTable;
 pub use run::{
     simulate, simulate_multicore, CoordinatorKind, OcpKind, PrefetcherKind, RunOptions, RunResult,
     SystemConfig,
 };
-pub use table::ExperimentTable;
 
 /// Geometric mean of a slice of positive values; returns 1.0 for an empty slice.
 pub fn geomean(values: &[f64]) -> f64 {

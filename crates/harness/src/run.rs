@@ -1,259 +1,17 @@
-//! System configurations (cache designs CD1–CD4), mechanism registries and the single-run
-//! entry points.
+//! Run options and the single-run entry points.
+//!
+//! The system configurations (CD1–CD4), mechanism registries and the `simulate` /
+//! `simulate_multicore` functions moved to `athena-engine` when the parallel experiment
+//! engine was introduced; they are re-exported here unchanged so existing callers keep
+//! working. What remains harness-local is [`RunOptions`], which bundles the run-length
+//! *and* parallelism knobs every experiment takes.
 
-use athena_coordinators::{FixedCombo, Hpac, Mab, NaiveAll, Tlp};
-use athena_core::{AthenaAgent, AthenaConfig};
-use athena_ocp::{Hmp, Popet, Ttp};
-use athena_prefetchers::{Berti, Ipcp, Mlop, NextLine, Pythia, Sms, SppPpf, StridePrefetcher};
-use athena_sim::{
-    CacheLevel, Coordinator, MultiCoreResult, MultiCoreSimulator, OffChipPredictor, Prefetcher,
-    SimConfig, SimResult, Simulator,
+pub use athena_engine::{
+    default_athena_config, simulate, simulate_multicore, CoordinatorKind, OcpKind, PrefetcherKind,
+    RunResult, SystemConfig,
 };
-use athena_workloads::{WorkloadMix, WorkloadSpec};
 
-/// The prefetchers the harness can instantiate by name.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum PrefetcherKind {
-    /// IPCP at the L1 data cache.
-    Ipcp,
-    /// Berti at the L1 data cache.
-    Berti,
-    /// Pythia at the L2 cache.
-    Pythia,
-    /// SPP + PPF at the L2 cache.
-    SppPpf,
-    /// MLOP at the L2 cache.
-    Mlop,
-    /// SMS at the L2 cache.
-    Sms,
-    /// Reference next-line prefetcher at the L2 cache.
-    NextLine,
-    /// Reference stride prefetcher at the L2 cache.
-    Stride,
-}
-
-impl PrefetcherKind {
-    /// Instantiates the prefetcher.
-    pub fn build(&self) -> Box<dyn Prefetcher> {
-        match self {
-            PrefetcherKind::Ipcp => Box::new(Ipcp::new()),
-            PrefetcherKind::Berti => Box::new(Berti::new()),
-            PrefetcherKind::Pythia => Box::new(Pythia::new()),
-            PrefetcherKind::SppPpf => Box::new(SppPpf::new()),
-            PrefetcherKind::Mlop => Box::new(Mlop::new()),
-            PrefetcherKind::Sms => Box::new(Sms::new()),
-            PrefetcherKind::NextLine => Box::new(NextLine::new(CacheLevel::L2c, 4)),
-            PrefetcherKind::Stride => Box::new(StridePrefetcher::new(CacheLevel::L2c)),
-        }
-    }
-
-    /// The display name used in tables.
-    pub fn name(&self) -> &'static str {
-        match self {
-            PrefetcherKind::Ipcp => "ipcp",
-            PrefetcherKind::Berti => "berti",
-            PrefetcherKind::Pythia => "pythia",
-            PrefetcherKind::SppPpf => "spp+ppf",
-            PrefetcherKind::Mlop => "mlop",
-            PrefetcherKind::Sms => "sms",
-            PrefetcherKind::NextLine => "next-line",
-            PrefetcherKind::Stride => "stride",
-        }
-    }
-}
-
-/// The off-chip predictors the harness can instantiate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum OcpKind {
-    /// POPET (Hermes perceptron).
-    Popet,
-    /// HMP hybrid hit/miss predictor.
-    Hmp,
-    /// TTP tag-tracking predictor.
-    Ttp,
-}
-
-impl OcpKind {
-    /// Instantiates the predictor.
-    pub fn build(&self) -> Box<dyn OffChipPredictor> {
-        match self {
-            OcpKind::Popet => Box::new(Popet::new()),
-            OcpKind::Hmp => Box::new(Hmp::new()),
-            OcpKind::Ttp => Box::new(Ttp::new()),
-        }
-    }
-
-    /// The display name used in tables.
-    pub fn name(&self) -> &'static str {
-        match self {
-            OcpKind::Popet => "popet",
-            OcpKind::Hmp => "hmp",
-            OcpKind::Ttp => "ttp",
-        }
-    }
-}
-
-/// The coordination policy applied to a run.
-#[derive(Debug, Clone, PartialEq)]
-pub enum CoordinatorKind {
-    /// Baseline: prefetchers and OCP statically disabled (no coordination hardware).
-    Baseline,
-    /// OCP enabled, prefetchers disabled.
-    OcpOnly,
-    /// Prefetchers enabled, OCP disabled.
-    PrefetchersOnly,
-    /// Naive: everything enabled at full aggressiveness.
-    Naive,
-    /// An arbitrary static combination (OCP on/off, all prefetchers on/off).
-    Fixed {
-        /// Enable the OCP.
-        ocp: bool,
-        /// Enable the prefetchers.
-        prefetchers: bool,
-    },
-    /// HPAC (heuristic thresholds), adapted for OCP.
-    Hpac,
-    /// MAB (discounted-UCB bandit), adapted for OCP.
-    Mab,
-    /// TLP (off-chip-prediction-guided L1D prefetch filtering).
-    Tlp,
-    /// Athena with the paper's default configuration adapted for short simulations.
-    Athena,
-    /// Athena with an explicit configuration (ablations, DSE).
-    AthenaWith(AthenaConfig),
-}
-
-impl CoordinatorKind {
-    /// Instantiates the coordinator.
-    pub fn build(&self) -> Box<dyn Coordinator> {
-        match self {
-            CoordinatorKind::Baseline => Box::new(FixedCombo::baseline()),
-            CoordinatorKind::OcpOnly => Box::new(FixedCombo::ocp_only()),
-            CoordinatorKind::PrefetchersOnly => Box::new(FixedCombo::prefetchers_only()),
-            CoordinatorKind::Naive => Box::new(NaiveAll::new()),
-            CoordinatorKind::Fixed { ocp, prefetchers } => {
-                Box::new(FixedCombo::new(*ocp, *prefetchers))
-            }
-            CoordinatorKind::Hpac => Box::new(Hpac::new()),
-            CoordinatorKind::Mab => Box::new(Mab::new()),
-            CoordinatorKind::Tlp => Box::new(Tlp::new()),
-            CoordinatorKind::Athena => Box::new(AthenaAgent::new(default_athena_config())),
-            CoordinatorKind::AthenaWith(cfg) => Box::new(AthenaAgent::new(cfg.clone())),
-        }
-    }
-
-    /// The display name used in tables.
-    pub fn name(&self) -> &'static str {
-        match self {
-            CoordinatorKind::Baseline => "baseline",
-            CoordinatorKind::OcpOnly => "ocp-only",
-            CoordinatorKind::PrefetchersOnly => "prefetchers-only",
-            CoordinatorKind::Naive => "naive",
-            CoordinatorKind::Fixed { .. } => "fixed",
-            CoordinatorKind::Hpac => "hpac",
-            CoordinatorKind::Mab => "mab",
-            CoordinatorKind::Tlp => "tlp",
-            CoordinatorKind::Athena => "athena",
-            CoordinatorKind::AthenaWith(_) => "athena*",
-        }
-    }
-}
-
-/// The Athena configuration the harness uses by default.
-///
-/// It is Table 3's configuration with one deviation: the exploration rate ε is raised from
-/// 0.0 to 0.05. The paper's runs are 150–500 M instructions long (tens of thousands of
-/// epochs), which gives a zero-ε agent enough workload-induced state variation to explore;
-/// our reproduction runs are roughly three orders of magnitude shorter, so a small explicit
-/// exploration rate is needed to visit all four actions. The deviation is recorded in
-/// DESIGN.md and EXPERIMENTS.md.
-pub fn default_athena_config() -> AthenaConfig {
-    AthenaConfig {
-        epsilon: 0.05,
-        ..AthenaConfig::default()
-    }
-}
-
-/// A full single-core system configuration: cache design plus mechanism choices.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SystemConfig {
-    /// The simulator (core, caches, DRAM) parameters.
-    pub sim: SimConfig,
-    /// Prefetchers, in attach order (L1D prefetchers first by convention).
-    pub prefetchers: Vec<PrefetcherKind>,
-    /// The off-chip predictor, if the design includes one.
-    pub ocp: Option<OcpKind>,
-}
-
-impl SystemConfig {
-    /// CD1: OCP + one L2C prefetcher (the paper's default design).
-    pub fn cd1(l2c: PrefetcherKind, ocp: OcpKind) -> Self {
-        Self {
-            sim: SimConfig::golden_cove_like(),
-            prefetchers: vec![l2c],
-            ocp: Some(ocp),
-        }
-    }
-
-    /// CD2: OCP + one L1D prefetcher.
-    pub fn cd2(l1d: PrefetcherKind, ocp: OcpKind) -> Self {
-        Self {
-            sim: SimConfig::golden_cove_like(),
-            prefetchers: vec![l1d],
-            ocp: Some(ocp),
-        }
-    }
-
-    /// CD3: OCP + two L2C prefetchers.
-    pub fn cd3(l2c_a: PrefetcherKind, l2c_b: PrefetcherKind, ocp: OcpKind) -> Self {
-        Self {
-            sim: SimConfig::golden_cove_like(),
-            prefetchers: vec![l2c_a, l2c_b],
-            ocp: Some(ocp),
-        }
-    }
-
-    /// CD4: OCP + one L1D prefetcher + one L2C prefetcher.
-    pub fn cd4(l1d: PrefetcherKind, l2c: PrefetcherKind, ocp: OcpKind) -> Self {
-        Self {
-            sim: SimConfig::golden_cove_like(),
-            prefetchers: vec![l1d, l2c],
-            ocp: Some(ocp),
-        }
-    }
-
-    /// CD3 without an OCP (the prefetcher-only generalisability study, §7.6).
-    pub fn prefetchers_only(l2c_a: PrefetcherKind, l2c_b: PrefetcherKind) -> Self {
-        Self {
-            sim: SimConfig::golden_cove_like(),
-            prefetchers: vec![l2c_a, l2c_b],
-            ocp: None,
-        }
-    }
-
-    /// Returns a copy with a different main-memory bandwidth (GB/s per core).
-    pub fn with_bandwidth(mut self, gbps: f64) -> Self {
-        self.sim = self.sim.with_bandwidth(gbps);
-        self
-    }
-
-    /// Returns a copy with a different OCP request issue latency (cycles).
-    pub fn with_ocp_issue_latency(mut self, cycles: u64) -> Self {
-        self.sim = self.sim.with_ocp_issue_latency(cycles);
-        self
-    }
-
-    /// Human-readable description, e.g. `CD1<popet, pythia>`.
-    pub fn describe(&self) -> String {
-        let prefetchers: Vec<&str> = self.prefetchers.iter().map(|p| p.name()).collect();
-        match &self.ocp {
-            Some(ocp) => format!("<{}, {}>", ocp.name(), prefetchers.join("+")),
-            None => format!("<{}>", prefetchers.join("+")),
-        }
-    }
-}
-
-/// Options controlling run length.
+/// Options controlling run length and parallelism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunOptions {
     /// Instructions simulated per workload.
@@ -261,6 +19,10 @@ pub struct RunOptions {
     /// Optional cap on the number of workloads used by suite-wide experiments (useful for
     /// quick runs and Criterion benchmarks). `None` means all workloads.
     pub workload_limit: Option<usize>,
+    /// Number of simulation cells run concurrently by the experiment engine. `1` is the
+    /// exact serial path (no worker threads); results are bit-identical at any value — see
+    /// `athena-engine`.
+    pub jobs: usize,
 }
 
 impl RunOptions {
@@ -271,6 +33,7 @@ impl RunOptions {
         Self {
             instructions: 400_000,
             workload_limit: None,
+            jobs: 1,
         }
     }
 
@@ -279,145 +42,30 @@ impl RunOptions {
         Self {
             instructions: 40_000,
             workload_limit: Some(12),
+            jobs: 1,
         }
     }
-}
 
-/// The result of one single-core run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct RunResult {
-    /// Workload name.
-    pub workload: String,
-    /// Instructions retired.
-    pub instructions: u64,
-    /// Cycles taken.
-    pub cycles: u64,
-    /// Instructions per cycle.
-    pub ipc: f64,
-    /// Whole-run simulator statistics.
-    pub stats: athena_sim::SimStats,
-    /// Per-epoch telemetry (kept for phase-level analyses).
-    pub epochs: Vec<athena_sim::EpochStats>,
-}
-
-impl RunResult {
-    fn from_sim(workload: &str, r: SimResult) -> Self {
-        Self {
-            workload: workload.to_string(),
-            instructions: r.instructions,
-            cycles: r.cycles,
-            ipc: r.ipc(),
-            stats: r.stats,
-            epochs: r.epochs,
-        }
+    /// Returns a copy with a different engine worker count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
     }
-}
-
-/// Runs one workload on one system configuration under one coordination policy.
-pub fn simulate(
-    spec: &WorkloadSpec,
-    config: &SystemConfig,
-    coordinator: CoordinatorKind,
-    instructions: u64,
-) -> RunResult {
-    let mut sim = Simulator::new(config.sim.clone());
-    for p in &config.prefetchers {
-        sim = sim.with_prefetcher(p.build());
-    }
-    if let Some(ocp) = &config.ocp {
-        sim = sim.with_ocp(ocp.build());
-    }
-    sim = sim.with_coordinator(coordinator.build());
-    let result = sim.run(spec.trace(), instructions);
-    RunResult::from_sim(&spec.name, result)
-}
-
-/// Runs a multi-core mix: every core gets its own instance of the configured mechanisms and
-/// coordinator, and all cores share one DRAM channel.
-pub fn simulate_multicore(
-    mix: &WorkloadMix,
-    config: &SystemConfig,
-    coordinator: CoordinatorKind,
-    instructions_per_core: u64,
-) -> MultiCoreResult {
-    let cores = mix.workloads.len();
-    let mut mc = MultiCoreSimulator::new(config.sim.clone(), cores);
-    for spec in &mix.workloads {
-        let prefetchers: Vec<Box<dyn Prefetcher>> =
-            config.prefetchers.iter().map(|p| p.build()).collect();
-        let ocp = config.ocp.as_ref().map(|o| o.build());
-        mc.add_core(
-            Box::new(spec.trace()),
-            prefetchers,
-            ocp,
-            Some(coordinator.build()),
-        );
-    }
-    mc.run(instructions_per_core)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use athena_workloads::all_workloads;
 
     #[test]
-    fn cache_designs_have_the_right_shape() {
-        let cd1 = SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet);
-        assert_eq!(cd1.prefetchers.len(), 1);
-        assert!(cd1.ocp.is_some());
-        let cd4 = SystemConfig::cd4(PrefetcherKind::Ipcp, PrefetcherKind::Pythia, OcpKind::Popet);
-        assert_eq!(cd4.prefetchers.len(), 2);
-        assert_eq!(cd4.describe(), "<popet, ipcp+pythia>");
-        let no_ocp = SystemConfig::prefetchers_only(PrefetcherKind::Sms, PrefetcherKind::Pythia);
-        assert!(no_ocp.ocp.is_none());
+    fn defaults_are_serial() {
+        assert_eq!(RunOptions::full().jobs, 1);
+        assert_eq!(RunOptions::quick().jobs, 1);
     }
 
     #[test]
-    fn every_kind_builds() {
-        for p in [
-            PrefetcherKind::Ipcp,
-            PrefetcherKind::Berti,
-            PrefetcherKind::Pythia,
-            PrefetcherKind::SppPpf,
-            PrefetcherKind::Mlop,
-            PrefetcherKind::Sms,
-            PrefetcherKind::NextLine,
-            PrefetcherKind::Stride,
-        ] {
-            assert_eq!(p.build().name(), p.name());
-        }
-        for o in [OcpKind::Popet, OcpKind::Hmp, OcpKind::Ttp] {
-            assert_eq!(o.build().name(), o.name());
-        }
-        for c in [
-            CoordinatorKind::Baseline,
-            CoordinatorKind::Naive,
-            CoordinatorKind::Hpac,
-            CoordinatorKind::Mab,
-            CoordinatorKind::Tlp,
-            CoordinatorKind::Athena,
-        ] {
-            let _ = c.build();
-        }
-    }
-
-    #[test]
-    fn baseline_run_produces_no_speculative_traffic() {
-        let spec = &all_workloads()[0];
-        let cfg = SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet);
-        let r = simulate(spec, &cfg, CoordinatorKind::Baseline, 20_000);
-        assert_eq!(r.stats.prefetches_issued, 0);
-        assert_eq!(r.stats.ocp_predictions, 0);
-        assert!(r.ipc > 0.0);
-    }
-
-    #[test]
-    fn naive_run_produces_speculative_traffic() {
-        let spec = &all_workloads()[0];
-        let cfg = SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet);
-        let r = simulate(spec, &cfg, CoordinatorKind::Naive, 20_000);
-        assert!(r.stats.prefetches_issued > 0);
-        assert!(r.stats.ocp_predictions > 0);
+    fn with_jobs_clamps_to_at_least_one() {
+        assert_eq!(RunOptions::quick().with_jobs(8).jobs, 8);
+        assert_eq!(RunOptions::quick().with_jobs(0).jobs, 1);
     }
 }

@@ -95,7 +95,15 @@ impl Prefetcher for Berti {
                 .map(|(&d, &hits)| (d, hits as f32 / denom))
                 .filter(|&(_, cov)| cov >= COVERAGE_THRESHOLD)
                 .collect();
-            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            // Total order: coverage descending, then delta ascending. The tiebreak matters
+            // for determinism — `delta_hits` is a HashMap whose iteration order varies per
+            // instance, so equally-covered deltas would otherwise be selected in a random
+            // order and simulation results would differ from run to run.
+            scored.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.0.cmp(&b.0))
+            });
             entry.best_deltas = scored.into_iter().map(|(d, _)| d).take(4).collect();
             entry.delta_hits.clear();
             entry.accesses_since_eval = 0;
@@ -187,6 +195,26 @@ mod tests {
             p.on_access(&ev(0x500, addr), &mut out);
         }
         assert!(out.len() <= 1);
+    }
+
+    #[test]
+    fn equally_covered_deltas_are_selected_deterministically() {
+        // Alternating +1/+2-line steps give the deltas +1, +2 and +3 near-equal coverage,
+        // which exercises the sort's tiebreak. Two fresh instances (each with its own
+        // randomly-seeded HashMap state) must still emit identical prefetch streams.
+        let run = || {
+            let mut p = Berti::new();
+            let mut emitted = Vec::new();
+            let mut addr = 0x40_0000u64;
+            for i in 0..200u64 {
+                addr += if i % 2 == 0 { 64 } else { 128 };
+                let mut out = Vec::new();
+                p.on_access(&ev(0x700, addr), &mut out);
+                emitted.extend(out.into_iter().map(|r| r.addr));
+            }
+            emitted
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

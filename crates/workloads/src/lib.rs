@@ -36,3 +36,16 @@ pub use mixes::{mixes, MixCategory, WorkloadMix};
 pub use suite::{
     all_workloads, google_like_workloads, suite_workloads, tuning_workloads, Suite, WorkloadSpec,
 };
+
+// The experiment engine (`athena-engine`) moves specs and mixes across worker threads as
+// plain job data; keep them `Send + Sync + Clone` — checked at compile time, so a stray
+// `Rc`/`RefCell` added to a spec fails the build here rather than deep inside the engine's
+// generic bounds.
+const fn assert_engine_shippable<T: Send + Sync + Clone>() {}
+const _: () = {
+    assert_engine_shippable::<WorkloadSpec>();
+    assert_engine_shippable::<WorkloadMix>();
+    assert_engine_shippable::<Suite>();
+    assert_engine_shippable::<Pattern>();
+    assert_engine_shippable::<MixCategory>();
+};

@@ -20,6 +20,8 @@
 //! * [`athena`] — the Athena RL coordination agent (the paper's contribution).
 //! * [`coordinators`] — Naive, HPAC, MAB, TLP baseline policies.
 //! * [`workloads`] — the 100-workload synthetic trace suite.
+//! * [`engine`] — the parallel experiment engine (jobs, deterministic seeding, worker
+//!   pool, JSON reports).
 //! * [`harness`] — the per-figure experiment harness and `figures` CLI.
 
 #![forbid(unsafe_code)]
@@ -27,6 +29,7 @@
 
 pub use athena_coordinators as coordinators;
 pub use athena_core as athena;
+pub use athena_engine as engine;
 pub use athena_harness as harness;
 pub use athena_ocp as ocp;
 pub use athena_prefetchers as prefetchers;
@@ -37,6 +40,7 @@ pub use athena_workloads as workloads;
 pub mod prelude {
     pub use athena_coordinators::{FixedCombo, Hpac, Mab, NaiveAll, Tlp};
     pub use athena_core::{AthenaAgent, AthenaConfig};
+    pub use athena_engine::{CellResult, Engine, Job, JobOutput, SeedPolicy};
     pub use athena_harness::{
         simulate, simulate_multicore, CoordinatorKind, OcpKind, PrefetcherKind, RunOptions,
         RunResult, SystemConfig,

@@ -191,6 +191,7 @@ fn quick_figure_experiments_produce_consistent_tables() {
     let opts = RunOptions {
         instructions: 12_000,
         workload_limit: Some(4),
+        jobs: 2,
     };
     for fig in ["fig2", "fig7", "tab4"] {
         let table = experiments::run_experiment(fig, opts).expect(fig);

@@ -1,0 +1,170 @@
+//! Engine determinism and scaling guarantees (ISSUE 2 acceptance criteria):
+//!
+//! * experiment tables are byte-identical at any `--jobs` value;
+//! * per-cell results do not depend on submission order or worker count;
+//! * one poisoned job fails only its own cell;
+//! * on a 4+-core host, a parallel batch runs at least 2× faster than the serial path.
+
+use std::time::{Duration, Instant};
+
+use athena_repro::engine::pool::parallel_map;
+use athena_repro::engine::{available_parallelism, Job};
+use athena_repro::harness::experiments::run_experiment;
+use athena_repro::prelude::*;
+
+fn cd1() -> SystemConfig {
+    SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet)
+}
+
+/// `n` Athena jobs over distinct workloads (the most stateful coordinator, so any
+/// scheduling leak into results would show here first).
+fn athena_jobs(n: usize, instructions: u64) -> Vec<Job> {
+    all_workloads()
+        .into_iter()
+        .take(n)
+        .map(|spec| {
+            Job::single(
+                "determinism",
+                spec,
+                cd1(),
+                CoordinatorKind::Athena,
+                instructions,
+            )
+        })
+        .collect()
+}
+
+/// Deterministic Fisher–Yates shuffle (xorshift64), so the test itself is reproducible.
+fn shuffle<T>(items: &mut [T], mut state: u64) {
+    for i in (1..items.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        items.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+}
+
+#[test]
+fn tables_are_byte_identical_across_worker_counts() {
+    let opts = RunOptions {
+        instructions: 8_000,
+        workload_limit: Some(4),
+        jobs: 1,
+    };
+    // One category sweep, one raw-stats figure and one multi-core figure.
+    for fig in ["fig7", "fig3", "fig15"] {
+        let serial = run_experiment(fig, opts).expect(fig);
+        let parallel = run_experiment(fig, opts.with_jobs(4)).expect(fig);
+        assert_eq!(serial, parallel, "{fig} tables diverged");
+        assert_eq!(
+            serial.to_csv(),
+            parallel.to_csv(),
+            "{fig} CSV bytes diverged"
+        );
+    }
+}
+
+#[test]
+fn shuffled_submission_order_does_not_change_results() {
+    let jobs = athena_jobs(8, 6_000);
+    let reference = Engine::new(1).run(jobs.clone());
+
+    let mut shuffled = jobs;
+    shuffle(&mut shuffled, 0x243f_6a88_85a3_08d3);
+    let results = Engine::new(4).run(shuffled);
+
+    for r in &reference {
+        let shuffled_cell = results
+            .iter()
+            .find(|c| c.label == r.label)
+            .expect("every cell still present");
+        assert_eq!(shuffled_cell.seed, r.seed, "{}: seed changed", r.label);
+        assert_eq!(
+            shuffled_cell.output, r.output,
+            "{}: result changed",
+            r.label
+        );
+    }
+}
+
+#[test]
+fn derived_seeds_are_per_cell_and_scheduling_independent() {
+    let jobs: Vec<Job> = athena_jobs(4, 6_000)
+        .into_iter()
+        .map(Job::with_derived_seed)
+        .collect();
+    let seeds: Vec<u64> = jobs.iter().map(|j| j.seed).collect();
+    for (i, a) in seeds.iter().enumerate() {
+        for b in &seeds[i + 1..] {
+            assert_ne!(a, b, "distinct cells derive distinct seeds");
+        }
+    }
+
+    let serial = Engine::new(1).run(jobs.clone());
+    let mut reversed = jobs;
+    reversed.reverse();
+    let parallel = Engine::new(4).run(reversed);
+    for s in &serial {
+        let p = parallel
+            .iter()
+            .find(|c| c.label == s.label)
+            .expect("cell present");
+        assert_eq!(s.output, p.output, "{}: derived-seed run diverged", s.label);
+    }
+}
+
+#[test]
+fn one_poisoned_job_fails_only_its_cell() {
+    let items: Vec<u32> = (0..12).collect();
+    let out = parallel_map(4, &items, |&i| {
+        assert!(i != 5, "cell {i} is poisoned");
+        i * 10
+    });
+    assert_eq!(out.len(), 12);
+    for (i, o) in out.iter().enumerate() {
+        if i == 5 {
+            let message = o.as_ref().expect_err("cell 5 fails");
+            assert!(message.contains("poisoned"));
+        } else {
+            let (value, _) = o.as_ref().expect("other cells complete");
+            assert_eq!(*value, i as u32 * 10);
+        }
+    }
+}
+
+/// The ISSUE 2 scaling criterion: ≥ 2× faster with 4 workers on a 4+-core machine. On
+/// hosts with fewer hardware threads (e.g. a 1-CPU container) there is nothing to verify,
+/// so the test degrades to checking that the parallel path at least completes correctly.
+#[test]
+fn parallel_batches_beat_serial_on_multicore_hosts() {
+    let host = available_parallelism();
+    let batch = || athena_jobs(16, 30_000);
+
+    let start = Instant::now();
+    let serial = Engine::new(1).run(batch());
+    let serial_wall = start.elapsed();
+
+    let start = Instant::now();
+    let parallel = Engine::new(4).run(batch());
+    let parallel_wall = start.elapsed();
+
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            s.output, p.output,
+            "{}: speedup must not cost accuracy",
+            s.label
+        );
+    }
+
+    let speedup = serial_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9);
+    eprintln!(
+        "engine speedup: {speedup:.2}x (serial {serial_wall:.1?}, parallel {parallel_wall:.1?}, \
+         {host} hardware threads)"
+    );
+    if host >= 4 && serial_wall > Duration::from_millis(200) {
+        assert!(
+            speedup >= 2.0,
+            "expected >= 2x speedup with 4 workers on a {host}-thread host, got {speedup:.2}x"
+        );
+    }
+}

@@ -25,6 +25,7 @@ fn prelude_reexports_are_usable() {
     let opts = RunOptions {
         instructions: 1_000,
         workload_limit: Some(1),
+        jobs: 1,
     };
     assert_eq!(opts.workload_limit, Some(1));
 }
