@@ -42,6 +42,6 @@ mod reward;
 pub use agent::{Action, AthenaAgent};
 pub use bloom::{AccuracyTracker, BloomFilter, PollutionTracker};
 pub use config::{AthenaConfig, RewardWeights, StorageOverhead};
-pub use features::{Feature, FeatureVector};
+pub use features::{Feature, FeatureVector, LEVELS_PER_FEATURE};
 pub use qvstore::QvStore;
 pub use reward::CompositeReward;

@@ -22,7 +22,7 @@ fn figure_benches(c: &mut Criterion) {
         }
         group.bench_function(name, |b| {
             b.iter(|| {
-                let table = run_experiment(name, opts).expect("known experiment");
+                let table = run_experiment(name, &opts).expect("known experiment");
                 std::hint::black_box(table.rows.len())
             })
         });
@@ -37,11 +37,12 @@ fn figure_benches(c: &mut Criterion) {
         instructions: 10_000,
         workload_limit: Some(3),
         jobs: 1,
+        trace_dir: None,
     };
     for name in ["fig15", "fig16"] {
         multicore.bench_function(name, |b| {
             b.iter(|| {
-                let table = run_experiment(name, tiny).expect("known experiment");
+                let table = run_experiment(name, &tiny).expect("known experiment");
                 std::hint::black_box(table.rows.len())
             })
         });
@@ -57,13 +58,14 @@ fn figure_benches(c: &mut Criterion) {
     engine.measurement_time(Duration::from_secs(3));
     engine.bench_function("fig7_serial", |b| {
         b.iter(|| {
-            let table = run_experiment("fig7", bench_options()).expect("known experiment");
+            let table = run_experiment("fig7", &bench_options()).expect("known experiment");
             std::hint::black_box(table.rows.len())
         })
     });
     engine.bench_function("fig7_parallel", |b| {
         b.iter(|| {
-            let table = run_experiment("fig7", parallel_bench_options()).expect("known experiment");
+            let table =
+                run_experiment("fig7", &parallel_bench_options()).expect("known experiment");
             std::hint::black_box(table.rows.len())
         })
     });

@@ -27,6 +27,7 @@ pub fn bench_options() -> athena_harness::RunOptions {
         instructions: 12_000,
         workload_limit: Some(4),
         jobs: 1,
+        trace_dir: None,
     }
 }
 

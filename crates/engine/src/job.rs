@@ -1,13 +1,22 @@
 //! The [`Job`] abstraction: one simulation cell, as plain data.
 //!
-//! A job bundles everything one cell of an experiment grid needs — a workload (or
-//! multi-core mix), a [`SystemConfig`], a [`CoordinatorKind`] and an instruction budget —
-//! plus a deterministic seed derived from that identity (see [`crate::seed`]). Because the
-//! job is a pure value and [`Job::run`] builds every mechanism from scratch, a job's result
-//! depends only on the job itself: never on which worker ran it, in what order, or what else
-//! was in the batch.
+//! A job bundles everything one cell of an experiment grid needs — a workload reference
+//! ([`WorkloadRef`]: a generated workload, a multi-core mix, or an on-disk trace file), a
+//! [`SystemConfig`], a [`CoordinatorKind`] and an instruction budget — plus a deterministic
+//! seed derived from that identity (see [`crate::seed`]). Because the job is a pure value
+//! and [`Job::run`] builds every mechanism from scratch, a job's result depends only on the
+//! job itself: never on which worker ran it, in what order, or what else was in the batch.
+//!
+//! File-backed cells ([`WorkloadRef::File`]) carry the workload *name* separately from the
+//! trace path, and only the name participates in seeding and labelling. A recorded trace
+//! replayed under the name of the workload that produced it therefore derives the same
+//! seed, the same label and — because the recorded records are the generator's records —
+//! the same result as the generated cell, byte for byte.
+
+use std::path::PathBuf;
 
 use athena_sim::{MultiCoreResult, MultiCoreSimulator, Prefetcher, SimResult, Simulator};
+use athena_trace_io::open_trace;
 use athena_workloads::{WorkloadMix, WorkloadSpec};
 
 use crate::kinds::{CoordinatorKind, SystemConfig};
@@ -27,21 +36,40 @@ pub enum SeedPolicy {
     Derived,
 }
 
-/// The workload side of a cell: one single-core workload or one multi-core mix.
+/// The workload side of a cell: a generated workload, a multi-core mix, or an on-disk
+/// trace file.
 #[derive(Debug, Clone, PartialEq)]
-pub enum JobCell {
-    /// A single-core run of one workload.
+pub enum WorkloadRef {
+    /// A single-core run of one generated workload.
     Single(WorkloadSpec),
     /// A multi-core run of one mix (one workload per core, shared DRAM channel).
     Multi(WorkloadMix),
+    /// A single-core run replayed from an on-disk trace (see `athena-trace-io`).
+    File(FileWorkload),
 }
 
-impl JobCell {
+/// Former name of [`WorkloadRef`], kept as an alias for existing callers.
+pub type JobCell = WorkloadRef;
+
+/// An on-disk trace standing in for a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileWorkload {
+    /// The workload name used for seeding and labels. For a recorded trace this is the
+    /// name of the workload that produced it, which makes the file-backed cell's identity
+    /// — and therefore its derived seed and its place in report tables — identical to the
+    /// generated cell's.
+    pub name: String,
+    /// Path of the trace file (binary or text; the format is sniffed from the contents).
+    pub path: PathBuf,
+}
+
+impl WorkloadRef {
     /// The workload or mix name.
     pub fn name(&self) -> &str {
         match self {
-            JobCell::Single(spec) => &spec.name,
-            JobCell::Multi(mix) => &mix.name,
+            WorkloadRef::Single(spec) => &spec.name,
+            WorkloadRef::Multi(mix) => &mix.name,
+            WorkloadRef::File(file) => &file.name,
         }
     }
 }
@@ -51,8 +79,8 @@ impl JobCell {
 pub struct Job {
     /// The experiment this cell belongs to (e.g. `"fig7"`).
     pub experiment: String,
-    /// The workload or mix to run.
-    pub cell: JobCell,
+    /// The workload, mix, or trace file to run.
+    pub cell: WorkloadRef,
     /// The system configuration (cache design, mechanisms, simulator knobs).
     pub config: SystemConfig,
     /// The coordination policy.
@@ -76,7 +104,7 @@ impl Job {
     ) -> Self {
         Self::build(
             experiment,
-            JobCell::Single(spec),
+            WorkloadRef::Single(spec),
             config,
             coordinator,
             instructions,
@@ -93,16 +121,42 @@ impl Job {
     ) -> Self {
         Self::build(
             experiment,
-            JobCell::Multi(mix),
+            WorkloadRef::Multi(mix),
             config,
             coordinator,
             instructions_per_core,
         )
     }
 
+    /// Creates a single-core job replaying an on-disk trace, and derives its seed.
+    ///
+    /// `name` is the workload name the cell answers to; with the name of the workload the
+    /// trace was recorded from, the job's seed and label are identical to the generated
+    /// cell's (see the module docs). The file itself is only opened inside [`Job::run`],
+    /// so a missing or corrupt trace fails that cell alone when the batch executes.
+    pub fn from_file(
+        experiment: &str,
+        name: impl Into<String>,
+        path: impl Into<PathBuf>,
+        config: SystemConfig,
+        coordinator: CoordinatorKind,
+        instructions: u64,
+    ) -> Self {
+        Self::build(
+            experiment,
+            WorkloadRef::File(FileWorkload {
+                name: name.into(),
+                path: path.into(),
+            }),
+            config,
+            coordinator,
+            instructions,
+        )
+    }
+
     fn build(
         experiment: &str,
-        cell: JobCell,
+        cell: WorkloadRef,
         config: SystemConfig,
         coordinator: CoordinatorKind,
         instructions: u64,
@@ -127,12 +181,15 @@ impl Job {
     }
 
     /// The seed implied by this job's identity (experiment, cell, configuration,
-    /// coordinator, instruction budget). Scheduling state contributes nothing.
+    /// coordinator, instruction budget). Scheduling state contributes nothing — and
+    /// neither does a trace file's *path*: a file-backed cell is identified by its
+    /// workload name alone, so replaying a recorded trace from any directory derives the
+    /// generated cell's seed.
     fn derive_seed(&self) -> u64 {
         let mut h = SeedHasher::new();
         h.write_str(&self.experiment);
         h.write_str(self.cell.name());
-        if let JobCell::Multi(mix) = &self.cell {
+        if let WorkloadRef::Multi(mix) = &self.cell {
             for w in &mix.workloads {
                 h.write_str(&w.name);
             }
@@ -159,30 +216,69 @@ impl Job {
         )
     }
 
+    /// Builds the fully-configured single-core simulator for this job.
+    fn single_core_sim(&self, coordinator: Box<dyn athena_sim::Coordinator>) -> Simulator {
+        let mut sim = Simulator::new(self.config.sim.clone());
+        for p in &self.config.prefetchers {
+            sim = sim.with_prefetcher(p.build());
+        }
+        if let Some(ocp) = &self.config.ocp {
+            sim = sim.with_ocp(ocp.build());
+        }
+        sim.with_coordinator(coordinator)
+    }
+
     /// Runs the cell to completion and returns its result.
     ///
     /// Pure with respect to scheduling: every mechanism is constructed fresh from the job's
     /// own data, so calling this from any thread, any number of times, yields the same
     /// result.
+    ///
+    /// # Panics
+    ///
+    /// A file-backed cell panics if its trace cannot be opened, is corrupt, or holds
+    /// fewer records than the job's instruction budget (the simulator would otherwise
+    /// stop at the end of the file and silently produce a shorter — different — result).
+    /// Inside [`crate::Engine::run`] the panic is caught per cell: one bad trace file
+    /// fails exactly one cell and the rest of the batch completes.
     pub fn run(&self) -> JobOutput {
         let coordinator = || match self.seed_policy {
             SeedPolicy::Config => self.coordinator.build(),
             SeedPolicy::Derived => self.coordinator.build_seeded(self.seed),
         };
         match &self.cell {
-            JobCell::Single(spec) => {
-                let mut sim = Simulator::new(self.config.sim.clone());
-                for p in &self.config.prefetchers {
-                    sim = sim.with_prefetcher(p.build());
-                }
-                if let Some(ocp) = &self.config.ocp {
-                    sim = sim.with_ocp(ocp.build());
-                }
-                sim = sim.with_coordinator(coordinator());
+            WorkloadRef::Single(spec) => {
+                let mut sim = self.single_core_sim(coordinator());
                 let result = sim.run(spec.trace(), self.instructions);
                 JobOutput::Single(Box::new(RunResult::from_sim(&spec.name, result)))
             }
-            JobCell::Multi(mix) => {
+            WorkloadRef::File(file) => {
+                let trace = open_trace(&file.path).unwrap_or_else(|e| {
+                    panic!("cannot replay trace '{}': {e}", file.path.display())
+                });
+                // Reject a too-short trace before simulating (binary traces carry the
+                // record count); BudgetedTrace catches the same condition mid-stream for
+                // headerless text traces.
+                if let Some(header) = trace.header() {
+                    assert!(
+                        header.records >= self.instructions,
+                        "trace '{}' holds {} records but the cell budget is {} instructions",
+                        file.path.display(),
+                        header.records,
+                        self.instructions
+                    );
+                }
+                let guarded = BudgetedTrace {
+                    inner: trace,
+                    consumed: 0,
+                    budget: self.instructions,
+                    path: &file.path,
+                };
+                let mut sim = self.single_core_sim(coordinator());
+                let result = sim.run(guarded, self.instructions);
+                JobOutput::Single(Box::new(RunResult::from_sim(&file.name, result)))
+            }
+            WorkloadRef::Multi(mix) => {
                 let cores = mix.workloads.len();
                 let mut mc = MultiCoreSimulator::new(self.config.sim.clone(), cores);
                 for spec in &mix.workloads {
@@ -197,6 +293,39 @@ impl Job {
                     );
                 }
                 JobOutput::Multi(mc.run(self.instructions))
+            }
+        }
+    }
+}
+
+/// Wraps a replayed trace so that running out of records *before* the cell's instruction
+/// budget panics instead of quietly ending the simulation early. The simulator treats a
+/// `None` from its source as a clean end of trace; for a file-backed cell that would turn
+/// a short recording into a silently different result — the one thing the engine promises
+/// never happens.
+struct BudgetedTrace<'a> {
+    inner: athena_trace_io::TraceFile,
+    consumed: u64,
+    budget: u64,
+    path: &'a std::path::Path,
+}
+
+impl athena_sim::TraceSource for BudgetedTrace<'_> {
+    fn next_record(&mut self) -> Option<athena_sim::TraceRecord> {
+        match self.inner.next_record() {
+            Some(r) => {
+                self.consumed += 1;
+                Some(r)
+            }
+            None => {
+                assert!(
+                    self.consumed >= self.budget,
+                    "trace '{}' ended after {} records but the cell budget is {} instructions",
+                    self.path.display(),
+                    self.consumed,
+                    self.budget
+                );
+                None
             }
         }
     }
@@ -341,6 +470,109 @@ mod tests {
             JobOutput::Single(r) => assert_eq!(*r, serial),
             JobOutput::Multi(_) => panic!("single cell"),
         }
+    }
+
+    #[test]
+    fn file_backed_job_matches_generated_job_byte_for_byte() {
+        use athena_trace_io::{record_trace, TraceFormat};
+
+        let spec = all_workloads()[0].clone();
+        let instructions = 12_000;
+        let dir = std::env::temp_dir().join(format!("athena-engine-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{}.trace", spec.name));
+        let mut generator = spec.trace();
+        record_trace(&mut generator, instructions, &path, TraceFormat::Binary).unwrap();
+
+        let generated = Job::single(
+            "fig7",
+            spec.clone(),
+            cd1(),
+            CoordinatorKind::Athena,
+            instructions,
+        );
+        let replayed = Job::from_file(
+            "fig7",
+            &spec.name,
+            &path,
+            cd1(),
+            CoordinatorKind::Athena,
+            instructions,
+        );
+        // Identity: same name ⇒ same seed and same label, regardless of the path.
+        assert_eq!(generated.seed, replayed.seed);
+        assert_eq!(generated.label(), replayed.label());
+        let elsewhere = Job::from_file(
+            "fig7",
+            &spec.name,
+            dir.join("a/completely/different/location.trace"),
+            cd1(),
+            CoordinatorKind::Athena,
+            instructions,
+        );
+        assert_eq!(
+            generated.seed, elsewhere.seed,
+            "path must not affect the seed"
+        );
+        // Results: the replayed trace is the generator's records, so the whole simulation
+        // — IPC, stats, per-epoch telemetry — matches exactly.
+        assert_eq!(generated.run(), replayed.run());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn a_trace_shorter_than_the_budget_fails_the_cell() {
+        use crate::exec::Engine;
+        use athena_trace_io::{record_trace, TraceFormat};
+
+        let spec = all_workloads()[0].clone();
+        let dir = std::env::temp_dir().join(format!("athena-short-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Both formats must be rejected: binary via its header up front, text (which has
+        // no header) via the mid-stream budget guard.
+        for (format, name) in [
+            (TraceFormat::Binary, "short.trace"),
+            (TraceFormat::Text, "short.trace.txt"),
+        ] {
+            let path = dir.join(name);
+            let mut generator = spec.trace();
+            record_trace(&mut generator, 1_000, &path, format).unwrap();
+            let job = Job::from_file(
+                "t",
+                &spec.name,
+                &path,
+                cd1(),
+                CoordinatorKind::Baseline,
+                5_000,
+            );
+            let cells = Engine::new(1).run(vec![job]);
+            let err = cells[0]
+                .output
+                .as_ref()
+                .expect_err("short trace must fail its cell");
+            assert!(err.contains("records"), "{format}: {err}");
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn missing_trace_file_fails_only_its_own_cell() {
+        use crate::exec::Engine;
+
+        let spec = all_workloads()[0].clone();
+        let good = Job::single("t", spec.clone(), cd1(), CoordinatorKind::Baseline, 5_000);
+        let bad = Job::from_file(
+            "t",
+            "ghost-workload",
+            "/nonexistent/ghost.trace",
+            cd1(),
+            CoordinatorKind::Baseline,
+            5_000,
+        );
+        let cells = Engine::new(2).run(vec![good, bad]);
+        assert!(cells[0].output.is_ok(), "healthy cell completes");
+        let err = cells[1].output.as_ref().expect_err("missing trace fails");
+        assert!(err.contains("cannot replay trace"), "got: {err}");
     }
 
     #[test]

@@ -49,7 +49,10 @@ pub mod report;
 pub mod seed;
 
 pub use exec::{CellResult, Engine};
-pub use job::{simulate, simulate_multicore, Job, JobCell, JobOutput, RunResult, SeedPolicy};
+pub use job::{
+    simulate, simulate_multicore, FileWorkload, Job, JobCell, JobOutput, RunResult, SeedPolicy,
+    WorkloadRef,
+};
 pub use kinds::{default_athena_config, CoordinatorKind, OcpKind, PrefetcherKind, SystemConfig};
 pub use pool::available_parallelism;
 pub use record::{with_recording, CellRecord};

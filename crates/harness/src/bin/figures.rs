@@ -6,14 +6,16 @@
 //! cargo run --release -p athena-harness --bin figures -- --all --quick --jobs 4
 //! cargo run --release -p athena-harness --bin figures -- --all --quick --json --out results/
 //! cargo run --release -p athena-harness --bin figures -- --all --quick --bench-report
+//! cargo run --release -p athena-harness --bin figures -- --fig fig7 --trace-dir traces/
 //! ```
 //!
-//! `--jobs N` sets the engine worker count (default: every hardware thread); `--jobs 1` is
-//! the exact serial path and produces byte-identical tables. `--json` writes one
-//! machine-readable result file per experiment (aggregate table + per-cell records).
-//! `--bench-report` times every selected experiment at `--jobs 1` and at the parallel
-//! worker count, verifies the tables match byte-for-byte, and writes the
-//! `BENCH_engine.json` performance snapshot.
+//! Run `figures --help` for the full flag reference. `--jobs N` sets the engine worker
+//! count (default: every hardware thread); `--jobs 1` is the exact serial path and
+//! produces byte-identical tables. `--json` writes one machine-readable result file per
+//! experiment (aggregate table + per-cell records). `--bench-report` times every selected
+//! experiment at `--jobs 1` and at the parallel worker count, verifies the tables match
+//! byte-for-byte, and writes the `BENCH_engine.json` performance snapshot. `--trace-dir`
+//! replays recorded traces (written by the `trace` CLI) in place of in-process generation.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -22,6 +24,41 @@ use athena_engine::report::{figure_report, BenchReport, ExperimentBench};
 use athena_engine::{available_parallelism, with_recording};
 use athena_harness::experiments::{experiment_names, run_experiment};
 use athena_harness::RunOptions;
+
+const HELP: &str = "\
+figures — reproduce the Athena paper's tables and figures
+
+usage: figures [--fig <id>]... [--all] [options]
+
+experiment selection:
+  --fig <id>          run one experiment (repeatable); ids are fig1..fig21, tab3, tab4
+  --all               run every experiment
+  --list              print the experiment ids and exit
+
+run options:
+  --quick             reduced preset: 40 K instructions, 12 workloads (default preset is
+                      400 K instructions over all 100 workloads)
+  --instructions <N>  instructions simulated per workload (overrides the preset)
+  --workloads <N>     cap the workload count, keeping a balanced friendly/adverse mix
+  --jobs <N>          engine worker count (default: every hardware thread); --jobs 1 is
+                      the exact serial path; tables are byte-identical at any value
+  --trace-dir <DIR>   replay recorded traces from DIR (written by `trace record`):
+                      single-core cells with a <workload>.trace file there replay it,
+                      reproducing the generated results byte-for-byte; others generate
+
+output:
+  --out <DIR>         write one <fig>.csv per experiment into DIR (and relocate the other
+                      output files below)
+  --json              also write one <fig>.json per experiment (aggregate table plus
+                      per-cell records: label, derived seed, wall-clock, outcome) into
+                      --out DIR or results/
+  --bench-report      instead of printing tables: time every selected experiment at
+                      --jobs 1 vs the parallel worker count, verify both tables match
+                      byte-for-byte, and write the BENCH_engine.json snapshot
+
+misc:
+  --version           print the workspace version and exit
+  --help, -h          print this help and exit";
 
 struct Args {
     figs: Vec<String>,
@@ -41,6 +78,7 @@ fn parse_args() -> Result<Args, String> {
     let mut instructions: Option<u64> = None;
     let mut workload_limit: Option<usize> = None;
     let mut jobs: Option<usize> = None;
+    let mut trace_dir: Option<PathBuf> = None;
     let mut out_dir = None;
     let mut json = false;
     let mut bench_report = false;
@@ -80,6 +118,11 @@ fn parse_args() -> Result<Args, String> {
                 }
                 jobs = Some(n);
             }
+            "--trace-dir" => {
+                trace_dir = Some(PathBuf::from(
+                    args.next().ok_or("--trace-dir needs a value")?,
+                ))
+            }
             "--out" => out_dir = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
             "--list" => {
                 for n in experiment_names() {
@@ -87,12 +130,12 @@ fn parse_args() -> Result<Args, String> {
                 }
                 std::process::exit(0);
             }
+            "--version" => {
+                println!("figures {}", env!("CARGO_PKG_VERSION"));
+                std::process::exit(0);
+            }
             "--help" | "-h" => {
-                println!(
-                    "usage: figures [--fig <id>]... [--all] [--quick] [--jobs N] \
-                     [--instructions N] [--workloads N] [--out DIR] [--json] \
-                     [--bench-report] [--list]"
-                );
+                println!("{HELP}");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument: {other}")),
@@ -121,6 +164,7 @@ fn parse_args() -> Result<Args, String> {
     if let Some(w) = workload_limit {
         opts.workload_limit = Some(w);
     }
+    opts.trace_dir = trace_dir;
     let parallel_jobs = jobs.unwrap_or_else(available_parallelism);
     opts.jobs = parallel_jobs;
     Ok(Args {
@@ -154,17 +198,17 @@ fn write_file(path: &std::path::Path, contents: &str) {
 fn run_bench_report(args: &Args) {
     let mut experiments = Vec::new();
     for fig in &args.figs {
-        let serial_opts = args.opts.with_jobs(1);
+        let serial_opts = args.opts.clone().with_jobs(1);
         let start = Instant::now();
-        let Some(serial_table) = run_experiment(fig, serial_opts) else {
+        let Some(serial_table) = run_experiment(fig, &serial_opts) else {
             eprintln!("error: unknown experiment '{fig}' (see --list)");
             std::process::exit(2);
         };
         let serial = start.elapsed();
 
+        let parallel_opts = args.opts.clone().with_jobs(args.parallel_jobs);
         let start = Instant::now();
-        let parallel_table =
-            run_experiment(fig, args.opts.with_jobs(args.parallel_jobs)).expect("known experiment");
+        let parallel_table = run_experiment(fig, &parallel_opts).expect("known experiment");
         let parallel = start.elapsed();
 
         let identical = serial_table.to_csv() == parallel_table.to_csv();
@@ -225,7 +269,7 @@ fn main() {
         .unwrap_or_else(|| PathBuf::from("results"));
     for fig in &args.figs {
         let start = Instant::now();
-        let (table, cells) = with_recording(|| run_experiment(fig, args.opts));
+        let (table, cells) = with_recording(|| run_experiment(fig, &args.opts));
         let elapsed = start.elapsed();
         match table {
             Some(table) => {

@@ -36,11 +36,16 @@ const CATEGORY_COLUMNS: [&str; 7] = [
     "overall",
 ];
 
-fn workload_set(opts: RunOptions) -> Vec<WorkloadSpec> {
+/// The workload sample an experiment runs on under `opts`.
+///
+/// With no [`RunOptions::workload_limit`] this is the full 100-workload evaluation suite.
+/// With a limit, a balanced slice is kept: designed-friendly and designed-adverse
+/// workloads are interleaved so even heavily truncated runs exercise both categories.
+/// Exposed publicly so the `trace` CLI's `--quick` recording preset captures exactly the
+/// workloads the quick experiments replay.
+pub fn workload_set(opts: &RunOptions) -> Vec<WorkloadSpec> {
     let mut w = all_workloads();
     if let Some(limit) = opts.workload_limit {
-        // Keep a balanced slice: interleave designed-friendly and adverse workloads so even
-        // heavily truncated runs exercise both categories.
         let friendly: Vec<WorkloadSpec> =
             w.iter().filter(|x| x.designed_friendly).cloned().collect();
         let adverse: Vec<WorkloadSpec> =
@@ -64,32 +69,57 @@ fn workload_set(opts: RunOptions) -> Vec<WorkloadSpec> {
     w
 }
 
+/// One engine job for one single-core cell, honouring [`RunOptions::trace_dir`]: when the
+/// options name a trace directory containing `<workload-name>.trace`, the cell replays
+/// that recorded file (same workload name, so same derived seed and label as the
+/// generated cell); otherwise the cell generates its trace in-process as before.
+fn cell_job(
+    experiment: &str,
+    spec: &WorkloadSpec,
+    config: &SystemConfig,
+    kind: &CoordinatorKind,
+    opts: &RunOptions,
+) -> Job {
+    if let Some(dir) = &opts.trace_dir {
+        let path = dir.join(format!("{}.trace", spec.name));
+        if path.is_file() {
+            return Job::from_file(
+                experiment,
+                &spec.name,
+                path,
+                config.clone(),
+                kind.clone(),
+                opts.instructions,
+            );
+        }
+    }
+    Job::single(
+        experiment,
+        spec.clone(),
+        config.clone(),
+        kind.clone(),
+        opts.instructions,
+    )
+}
+
 /// Enumerates one engine job per workload for one (config, policy) pair.
 fn single_jobs(
     experiment: &str,
     specs: &[WorkloadSpec],
     config: &SystemConfig,
     kind: &CoordinatorKind,
-    opts: RunOptions,
+    opts: &RunOptions,
 ) -> Vec<Job> {
     specs
         .iter()
-        .map(|spec| {
-            Job::single(
-                experiment,
-                spec.clone(),
-                config.clone(),
-                kind.clone(),
-                opts.instructions,
-            )
-        })
+        .map(|spec| cell_job(experiment, spec, config, kind, opts))
         .collect()
 }
 
 /// Executes a batch of single-core jobs on the experiment engine (`opts.jobs` workers) and
 /// returns the results in submission order. Every cell is a pure function of its job, so
 /// the returned results are bit-identical at any worker count.
-fn run_batch(jobs: Vec<Job>, opts: RunOptions) -> Vec<RunResult> {
+fn run_batch(jobs: Vec<Job>, opts: &RunOptions) -> Vec<RunResult> {
     Engine::new(opts.jobs)
         .run(jobs)
         .into_iter()
@@ -121,7 +151,7 @@ impl Sweep {
         experiment: &str,
         config: &SystemConfig,
         policies: &[(&str, CoordinatorKind)],
-        opts: RunOptions,
+        opts: &RunOptions,
     ) -> Self {
         Self::run_on(experiment, workload_set(opts), config, policies, opts)
     }
@@ -135,7 +165,7 @@ impl Sweep {
         specs: Vec<WorkloadSpec>,
         config: &SystemConfig,
         policies: &[(&str, CoordinatorKind)],
-        opts: RunOptions,
+        opts: &RunOptions,
     ) -> Self {
         let n = specs.len();
         let mut jobs = single_jobs(experiment, &specs, config, &CoordinatorKind::Baseline, opts);
@@ -288,7 +318,7 @@ fn cd4() -> SystemConfig {
 
 /// Figure 1: per-workload speedups of the OCP (POPET) and the prefetcher (Pythia) alone,
 /// sorted by the prefetcher's speedup.
-pub fn fig1(opts: RunOptions) -> ExperimentTable {
+pub fn fig1(opts: &RunOptions) -> ExperimentTable {
     let config = cd1();
     let sweep = Sweep::run(
         "fig1",
@@ -318,7 +348,7 @@ pub fn fig1(opts: RunOptions) -> ExperimentTable {
 
 /// Figure 2: geomean speedup of POPET, Pythia, their naive combination and the StaticBest
 /// oracle, by workload category.
-pub fn fig2(opts: RunOptions) -> ExperimentTable {
+pub fn fig2(opts: &RunOptions) -> ExperimentTable {
     let config = cd1();
     let mut policies = static_combo_policies();
     policies.retain(|(n, _)| *n != "baseline-combo");
@@ -351,7 +381,7 @@ pub fn fig2(opts: RunOptions) -> ExperimentTable {
 
 /// Figure 3: fraction of prefetch fills from off-chip main memory that are never used, for
 /// an L1D prefetcher (IPCP) and an L2C prefetcher (Pythia).
-pub fn fig3(opts: RunOptions) -> ExperimentTable {
+pub fn fig3(opts: &RunOptions) -> ExperimentTable {
     let specs = workload_set(opts);
     let mut table = ExperimentTable::new(
         "Figure 3: fraction of off-chip prefetch fills that are inaccurate",
@@ -391,7 +421,7 @@ pub fn fig3(opts: RunOptions) -> ExperimentTable {
 }
 
 /// Figure 4: prior coordination policies (HPAC, MAB) against Naive and StaticBest in CD1.
-pub fn fig4(opts: RunOptions) -> ExperimentTable {
+pub fn fig4(opts: &RunOptions) -> ExperimentTable {
     let config = cd1();
     let mut policies = static_combo_policies();
     policies.push(("hpac", CoordinatorKind::Hpac));
@@ -451,7 +481,7 @@ fn cache_design_row_order(include_tlp: bool) -> Vec<&'static str> {
 }
 
 /// Figure 7: speedup in cache design 1 (OCP + Pythia at L2C).
-pub fn fig7(opts: RunOptions) -> ExperimentTable {
+pub fn fig7(opts: &RunOptions) -> ExperimentTable {
     let sweep = Sweep::run("fig7", &cd1(), &cache_design_policies(false), opts);
     sweep.category_table(
         "Figure 7: speedup in CD1 (POPET + Pythia@L2C)",
@@ -460,7 +490,7 @@ pub fn fig7(opts: RunOptions) -> ExperimentTable {
 }
 
 /// Figure 8(a): workload-category quartile statistics in CD1.
-pub fn fig8a(opts: RunOptions) -> ExperimentTable {
+pub fn fig8a(opts: &RunOptions) -> ExperimentTable {
     let sweep = Sweep::run("fig8a", &cd1(), &cache_design_policies(false), opts);
     let mut table = ExperimentTable::new(
         "Figure 8a: per-category speedup quartiles in CD1",
@@ -497,7 +527,7 @@ pub fn fig8a(opts: RunOptions) -> ExperimentTable {
 }
 
 /// Figure 8(b): Athena against the StaticBest oracle in CD1.
-pub fn fig8b(opts: RunOptions) -> ExperimentTable {
+pub fn fig8b(opts: &RunOptions) -> ExperimentTable {
     let config = cd1();
     let mut policies = static_combo_policies();
     policies.push(("hpac", CoordinatorKind::Hpac));
@@ -530,7 +560,7 @@ pub fn fig8b(opts: RunOptions) -> ExperimentTable {
 }
 
 /// Figure 9: speedup in cache design 2 (OCP + IPCP at L1D), including TLP.
-pub fn fig9(opts: RunOptions) -> ExperimentTable {
+pub fn fig9(opts: &RunOptions) -> ExperimentTable {
     let config = SystemConfig::cd2(PrefetcherKind::Ipcp, OcpKind::Popet);
     let sweep = Sweep::run("fig9", &config, &cache_design_policies(true), opts);
     sweep.category_table(
@@ -540,7 +570,7 @@ pub fn fig9(opts: RunOptions) -> ExperimentTable {
 }
 
 /// Figure 10: speedup in cache design 3 (OCP + SMS and Pythia at L2C).
-pub fn fig10(opts: RunOptions) -> ExperimentTable {
+pub fn fig10(opts: &RunOptions) -> ExperimentTable {
     let config = SystemConfig::cd3(PrefetcherKind::Sms, PrefetcherKind::Pythia, OcpKind::Popet);
     let sweep = Sweep::run("fig10", &config, &cache_design_policies(false), opts);
     sweep.category_table(
@@ -550,7 +580,7 @@ pub fn fig10(opts: RunOptions) -> ExperimentTable {
 }
 
 /// Figure 11: speedup in cache design 4 (OCP + IPCP at L1D + Pythia at L2C), including TLP.
-pub fn fig11(opts: RunOptions) -> ExperimentTable {
+pub fn fig11(opts: &RunOptions) -> ExperimentTable {
     let sweep = Sweep::run("fig11", &cd4(), &cache_design_policies(true), opts);
     sweep.category_table(
         "Figure 11: speedup in CD4 (POPET + IPCP@L1D + Pythia@L2C)",
@@ -568,7 +598,7 @@ fn overall_sweep_table(
     configs: Vec<(String, SystemConfig)>,
     policies: &[(&str, CoordinatorKind)],
     row_order: &[&str],
-    opts: RunOptions,
+    opts: &RunOptions,
 ) -> ExperimentTable {
     let mut table = ExperimentTable::new(
         title,
@@ -594,7 +624,7 @@ fn overall_sweep_table(
 }
 
 /// Figure 12(a): sensitivity to the L2C prefetcher type in CD1.
-pub fn fig12a(opts: RunOptions) -> ExperimentTable {
+pub fn fig12a(opts: &RunOptions) -> ExperimentTable {
     let configs = [
         PrefetcherKind::Pythia,
         PrefetcherKind::SppPpf,
@@ -615,7 +645,7 @@ pub fn fig12a(opts: RunOptions) -> ExperimentTable {
 }
 
 /// Figure 12(b): sensitivity to the OCP type in CD1.
-pub fn fig12b(opts: RunOptions) -> ExperimentTable {
+pub fn fig12b(opts: &RunOptions) -> ExperimentTable {
     let configs = [OcpKind::Popet, OcpKind::Hmp, OcpKind::Ttp]
         .iter()
         .map(|o| {
@@ -636,7 +666,7 @@ pub fn fig12b(opts: RunOptions) -> ExperimentTable {
 }
 
 /// Figure 12(c): sensitivity to the OCP request issue latency in CD1.
-pub fn fig12c(opts: RunOptions) -> ExperimentTable {
+pub fn fig12c(opts: &RunOptions) -> ExperimentTable {
     let configs = [6u64, 18, 30]
         .iter()
         .map(|lat| (format!("{lat}-cycles"), cd1().with_ocp_issue_latency(*lat)))
@@ -652,7 +682,7 @@ pub fn fig12c(opts: RunOptions) -> ExperimentTable {
 }
 
 /// Figure 13: sensitivity to the L1D prefetcher type in CD4.
-pub fn fig13(opts: RunOptions) -> ExperimentTable {
+pub fn fig13(opts: &RunOptions) -> ExperimentTable {
     let configs = [PrefetcherKind::Ipcp, PrefetcherKind::Berti]
         .iter()
         .map(|p| {
@@ -673,7 +703,7 @@ pub fn fig13(opts: RunOptions) -> ExperimentTable {
 }
 
 /// Figure 14: sensitivity to main-memory bandwidth in CD4.
-pub fn fig14(opts: RunOptions) -> ExperimentTable {
+pub fn fig14(opts: &RunOptions) -> ExperimentTable {
     let configs = [1.6f64, 3.2, 6.4, 12.8]
         .iter()
         .map(|bw| (format!("{bw}GB/s"), cd4().with_bandwidth(*bw)))
@@ -700,14 +730,32 @@ pub fn fig14(opts: RunOptions) -> ExperimentTable {
 // Multi-core
 // ---------------------------------------------------------------------------------------
 
-fn multicore_fig(experiment: &str, title: &str, cores: usize, opts: RunOptions) -> ExperimentTable {
-    // The paper uses 30 mixes per category; scale down with the workload limit so quick
-    // runs stay quick.
+/// Seed of the standard multi-core mix lists (shared by fig15/fig16 and `trace record
+/// --mixes`, so recordings and the figures draw from the same mixes).
+const MIX_SEED: u64 = 0x5eed;
+
+/// Mixes per category at full scale (the paper uses 30; a workload limit scales down).
+const FULL_MIXES_PER_CATEGORY: usize = 10;
+
+/// The standard `cores`-core mix list the multi-core figures use at full scale. Exposed
+/// publicly so the `trace` CLI's `--mixes` recording captures exactly the workloads
+/// fig15/fig16 replay.
+pub fn standard_mixes(cores: usize) -> Vec<athena_workloads::WorkloadMix> {
+    mixes(cores, FULL_MIXES_PER_CATEGORY, MIX_SEED)
+}
+
+fn multicore_fig(
+    experiment: &str,
+    title: &str,
+    cores: usize,
+    opts: &RunOptions,
+) -> ExperimentTable {
+    // Scale the mix count down with the workload limit so quick runs stay quick.
     let per_category = match opts.workload_limit {
         Some(limit) => (limit / 3).clamp(1, 30),
-        None => 10,
+        None => FULL_MIXES_PER_CATEGORY,
     };
-    let mix_list = mixes(cores, per_category, 0x5eed);
+    let mix_list = mixes(cores, per_category, MIX_SEED);
     let config = cd1();
     let policies = [
         ("ocp-only", CoordinatorKind::OcpOnly),
@@ -779,12 +827,12 @@ fn multicore_fig(experiment: &str, title: &str, cores: usize, opts: RunOptions) 
 }
 
 /// Figure 15: four-core workload mixes in CD1.
-pub fn fig15(opts: RunOptions) -> ExperimentTable {
+pub fn fig15(opts: &RunOptions) -> ExperimentTable {
     multicore_fig("fig15", "Figure 15: four-core mixes (CD1)", 4, opts)
 }
 
 /// Figure 16: eight-core workload mixes in CD1.
-pub fn fig16(opts: RunOptions) -> ExperimentTable {
+pub fn fig16(opts: &RunOptions) -> ExperimentTable {
     multicore_fig("fig16", "Figure 16: eight-core mixes (CD1)", 8, opts)
 }
 
@@ -794,7 +842,7 @@ pub fn fig16(opts: RunOptions) -> ExperimentTable {
 
 /// Figure 17: case study of Athena's action distribution and the static combinations on one
 /// phase-alternating CVP workload, at 3.2 GB/s and 25.6 GB/s.
-pub fn fig17(opts: RunOptions) -> ExperimentTable {
+pub fn fig17(opts: &RunOptions) -> ExperimentTable {
     let spec = all_workloads()
         .into_iter()
         .find(|w| w.name == "cvp-compute_fp_17")
@@ -826,13 +874,7 @@ pub fn fig17(opts: RunOptions) -> ExperimentTable {
     for bw in [3.2, 25.6] {
         let config = cd1().with_bandwidth(bw);
         for kind in &case_kinds {
-            jobs.push(Job::single(
-                "fig17",
-                spec.clone(),
-                config.clone(),
-                kind.clone(),
-                opts.instructions,
-            ));
+            jobs.push(cell_job("fig17", &spec, &config, kind, opts));
         }
     }
     let mut results = run_batch(jobs, opts).into_iter();
@@ -873,7 +915,7 @@ pub fn fig17(opts: RunOptions) -> ExperimentTable {
 
 /// Figure 18: ablation study — stateless Athena, progressively adding state features, then
 /// the uncorrelated reward component.
-pub fn fig18(opts: RunOptions) -> ExperimentTable {
+pub fn fig18(opts: &RunOptions) -> ExperimentTable {
     let config = cd1();
     let steps: Vec<(&str, CoordinatorKind)> = vec![
         ("mab", CoordinatorKind::Mab),
@@ -952,7 +994,7 @@ fn athena_step(features: &[Feature], uncorrelated: bool) -> AthenaConfig {
 }
 
 /// Figure 19: Athena managing two L2C prefetchers without an OCP (generalisability study).
-pub fn fig19(opts: RunOptions) -> ExperimentTable {
+pub fn fig19(opts: &RunOptions) -> ExperimentTable {
     let config = SystemConfig::prefetchers_only(PrefetcherKind::Sms, PrefetcherKind::Pythia);
     let policies = vec![
         ("prefetchers-only", CoordinatorKind::PrefetchersOnly),
@@ -972,7 +1014,7 @@ pub fn fig19(opts: RunOptions) -> ExperimentTable {
 // ---------------------------------------------------------------------------------------
 
 /// Figure 20(a): main-memory requests, normalised to the baseline, per policy (CD1).
-pub fn fig20a(opts: RunOptions) -> ExperimentTable {
+pub fn fig20a(opts: &RunOptions) -> ExperimentTable {
     normalised_stat_fig(
         "fig20a",
         "Figure 20a: main-memory requests normalised to no-prefetching/no-OCP (CD1)",
@@ -982,7 +1024,7 @@ pub fn fig20a(opts: RunOptions) -> ExperimentTable {
 }
 
 /// Figure 20(b): average LLC miss latency, normalised to the baseline, per policy (CD1).
-pub fn fig20b(opts: RunOptions) -> ExperimentTable {
+pub fn fig20b(opts: &RunOptions) -> ExperimentTable {
     normalised_stat_fig(
         "fig20b",
         "Figure 20b: average LLC load miss latency normalised to no-prefetching/no-OCP (CD1)",
@@ -994,7 +1036,7 @@ pub fn fig20b(opts: RunOptions) -> ExperimentTable {
 fn normalised_stat_fig(
     experiment: &str,
     title: &str,
-    opts: RunOptions,
+    opts: &RunOptions,
     stat: fn(&RunResult) -> f64,
 ) -> ExperimentTable {
     let sweep = Sweep::run(experiment, &cd1(), &cache_design_policies(false), opts);
@@ -1022,7 +1064,7 @@ fn normalised_stat_fig(
 }
 
 /// Figure 21: unseen (Google-warehouse-style) workloads in CD4.
-pub fn fig21(opts: RunOptions) -> ExperimentTable {
+pub fn fig21(opts: &RunOptions) -> ExperimentTable {
     let mut specs = google_like_workloads();
     if let Some(limit) = opts.workload_limit {
         specs.truncate(limit.max(3));
@@ -1049,7 +1091,7 @@ pub fn fig21(opts: RunOptions) -> ExperimentTable {
 /// Table 3 (reduced): grid search over SARSA hyperparameters on the 20 held-out tuning
 /// workloads. The grid is coarser than the paper's (which sweeps in steps of 0.1) so the
 /// experiment completes in minutes; the selected point is reported per row.
-pub fn tab3_dse(opts: RunOptions) -> ExperimentTable {
+pub fn tab3_dse(opts: &RunOptions) -> ExperimentTable {
     let mut specs = tuning_workloads();
     if let Some(limit) = opts.workload_limit {
         specs.truncate(limit.max(4));
@@ -1098,7 +1140,7 @@ pub fn tab3_dse(opts: RunOptions) -> ExperimentTable {
 }
 
 /// Table 4 / Table 8: storage overhead of Athena and of every evaluated mechanism class.
-pub fn tab4_storage(_opts: RunOptions) -> ExperimentTable {
+pub fn tab4_storage(_opts: &RunOptions) -> ExperimentTable {
     let overhead = AthenaConfig::default().storage_overhead();
     let mut table = ExperimentTable::new(
         "Table 4: storage overhead of Athena (bytes per core)",
@@ -1131,7 +1173,7 @@ pub fn experiment_names() -> Vec<&'static str> {
 ///
 /// Returns `None` if the identifier is unknown. Identifiers are those listed by
 /// [`experiment_names`].
-pub fn run_experiment(name: &str, opts: RunOptions) -> Option<ExperimentTable> {
+pub fn run_experiment(name: &str, opts: &RunOptions) -> Option<ExperimentTable> {
     let table = match name {
         "fig1" => fig1(opts),
         "fig2" => fig2(opts),
@@ -1172,12 +1214,13 @@ mod tests {
             instructions: 10_000,
             workload_limit: Some(4),
             jobs: 2,
+            trace_dir: None,
         }
     }
 
     #[test]
     fn category_fig_has_expected_shape() {
-        let t = fig7(tiny());
+        let t = fig7(&tiny());
         assert_eq!(t.columns.len(), 7);
         assert!(t.rows.iter().any(|(n, _)| n == "athena"));
         assert!(t.get("athena", "overall").unwrap() > 0.0);
@@ -1185,7 +1228,7 @@ mod tests {
 
     #[test]
     fn storage_table_matches_paper_total() {
-        let t = tab4_storage(tiny());
+        let t = tab4_storage(&tiny());
         assert_eq!(t.get("total", "bytes"), Some(3072.0));
     }
 
@@ -1194,15 +1237,15 @@ mod tests {
         for name in experiment_names() {
             // Only run the cheap ones here; existence is checked for all.
             if name == "tab4" {
-                assert!(run_experiment(name, tiny()).is_some());
+                assert!(run_experiment(name, &tiny()).is_some());
             }
         }
-        assert!(run_experiment("nonexistent", tiny()).is_none());
+        assert!(run_experiment("nonexistent", &tiny()).is_none());
     }
 
     #[test]
     fn static_best_is_at_least_naive() {
-        let sweep = Sweep::run("test", &cd1(), &static_combo_policies(), tiny());
+        let sweep = Sweep::run("test", &cd1(), &static_combo_policies(), &tiny());
         let idx = sweep.indices_for("overall");
         let naive = sweep.geomean_speedup("naive", &idx);
         let best = sweep.static_best(&idx);

@@ -14,7 +14,11 @@
 //!   `athena-engine` worker pool; [`RunOptions::jobs`] picks the worker count and the
 //!   results are bit-identical at any value;
 //! * the `figures` binary — `cargo run --release -p athena-harness --bin figures -- --fig
-//!   fig7 --jobs 8`.
+//!   fig7 --jobs 8`;
+//! * the `trace` binary — records workloads to on-disk trace files (`trace record --quick
+//!   --out traces/`), inspects them (`trace info` / `trace stats`) and converts between
+//!   the binary and text formats (`trace convert`); recorded directories replay through
+//!   `figures --trace-dir`, reproducing the generated tables byte-for-byte.
 //!
 //! ```no_run
 //! use athena_harness::{simulate, CoordinatorKind, OcpKind, PrefetcherKind, SystemConfig};

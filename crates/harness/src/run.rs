@@ -3,26 +3,48 @@
 //! The system configurations (CD1–CD4), mechanism registries and the `simulate` /
 //! `simulate_multicore` functions moved to `athena-engine` when the parallel experiment
 //! engine was introduced; they are re-exported here unchanged so existing callers keep
-//! working. What remains harness-local is [`RunOptions`], which bundles the run-length
-//! *and* parallelism knobs every experiment takes.
+//! working. What remains harness-local is [`RunOptions`], which bundles every knob an
+//! experiment takes: run length, workload sampling, engine parallelism and trace
+//! substitution.
+//!
+//! Each field maps onto a `figures` CLI flag (`--instructions`, `--workloads`, `--jobs`,
+//! `--trace-dir`); the CLI additionally offers output-mode flags that never reach the
+//! experiments themselves — `--out DIR` (CSV files), `--json` (per-figure JSON reports
+//! with per-cell records) and `--bench-report` (serial-vs-parallel timing snapshot with a
+//! byte-identity check, written to `BENCH_engine.json`).
+
+use std::path::PathBuf;
 
 pub use athena_engine::{
     default_athena_config, simulate, simulate_multicore, CoordinatorKind, OcpKind, PrefetcherKind,
     RunResult, SystemConfig,
 };
 
-/// Options controlling run length and parallelism.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Options controlling run length, parallelism and trace substitution.
+///
+/// Passed (by reference) to every experiment; construct via [`RunOptions::full`] or
+/// [`RunOptions::quick`] and override fields as needed.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunOptions {
-    /// Instructions simulated per workload.
+    /// Instructions simulated per workload (the `--instructions` flag).
     pub instructions: u64,
-    /// Optional cap on the number of workloads used by suite-wide experiments (useful for
-    /// quick runs and Criterion benchmarks). `None` means all workloads.
+    /// Optional cap on the number of workloads used by suite-wide experiments (the
+    /// `--workloads` flag; useful for quick runs and Criterion benchmarks). `None` means
+    /// all workloads. The cap keeps a balanced interleaving of designed-friendly and
+    /// designed-adverse workloads — see [`crate::experiments::workload_set`].
     pub workload_limit: Option<usize>,
-    /// Number of simulation cells run concurrently by the experiment engine. `1` is the
-    /// exact serial path (no worker threads); results are bit-identical at any value — see
-    /// `athena-engine`.
+    /// Number of simulation cells run concurrently by the experiment engine (the `--jobs`
+    /// flag; the CLI defaults it to every hardware thread). `1` is the exact serial path
+    /// (no worker threads); results are bit-identical at any value — see `athena-engine`.
     pub jobs: usize,
+    /// Optional directory of recorded traces (the `--trace-dir` flag). When set, every
+    /// single-core cell whose workload has a recorded trace in the directory (a
+    /// `<workload-name>.trace` file, as written by `trace record`) is replayed from that
+    /// file instead of being generated in-process; workloads without a recorded trace, and
+    /// multi-core mixes, fall back to generation. A replayed trace recorded from the same
+    /// generator reproduces the generated cell's results byte for byte (locked in by
+    /// `tests/trace_roundtrip.rs`).
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl RunOptions {
@@ -34,6 +56,7 @@ impl RunOptions {
             instructions: 400_000,
             workload_limit: None,
             jobs: 1,
+            trace_dir: None,
         }
     }
 
@@ -43,12 +66,20 @@ impl RunOptions {
             instructions: 40_000,
             workload_limit: Some(12),
             jobs: 1,
+            trace_dir: None,
         }
     }
 
     /// Returns a copy with a different engine worker count.
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Returns a copy replaying recorded traces from `dir` (see
+    /// [`RunOptions::trace_dir`]).
+    pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.trace_dir = Some(dir.into());
         self
     }
 }
@@ -58,14 +89,25 @@ mod tests {
     use super::*;
 
     #[test]
-    fn defaults_are_serial() {
+    fn defaults_are_serial_and_generated() {
         assert_eq!(RunOptions::full().jobs, 1);
         assert_eq!(RunOptions::quick().jobs, 1);
+        assert_eq!(RunOptions::full().trace_dir, None);
+        assert_eq!(RunOptions::quick().trace_dir, None);
     }
 
     #[test]
     fn with_jobs_clamps_to_at_least_one() {
         assert_eq!(RunOptions::quick().with_jobs(8).jobs, 8);
         assert_eq!(RunOptions::quick().with_jobs(0).jobs, 1);
+    }
+
+    #[test]
+    fn with_trace_dir_sets_the_directory() {
+        let opts = RunOptions::quick().with_trace_dir("/tmp/traces");
+        assert_eq!(
+            opts.trace_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/traces"))
+        );
     }
 }

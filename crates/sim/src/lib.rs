@@ -58,7 +58,7 @@ pub use dram::{Dram, DramRequestKind};
 pub use hierarchy::{LoadOutcome, MemoryHierarchy};
 pub use multicore::{MultiCoreResult, MultiCoreSimulator};
 pub use stats::{EpochStats, SimStats};
-pub use trace::{InstrKind, TraceRecord, TraceSource};
+pub use trace::{InstrKind, TraceRecord, TraceSource, LINE_SIZE, PAGE_SIZE};
 pub use traits::{
     AccessEvent, CoordinationDecision, Coordinator, LoadContext, OffChipPredictor, PrefetchRequest,
     Prefetcher, PrefetcherInfo,

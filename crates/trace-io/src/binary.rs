@@ -1,0 +1,442 @@
+//! The versioned binary container: fixed header + varint-packed records.
+//!
+//! See the crate-level docs for the byte-level layout. Readers and writers here are
+//! streaming: both hold O(1) state (the previous pc and the previous memory address)
+//! regardless of trace length.
+
+use std::io::{Read, Seek, SeekFrom, Write};
+
+use athena_sim::{InstrKind, TraceRecord, TraceSource};
+
+use crate::error::TraceIoError;
+use crate::varint::{read_varint, unzigzag, write_varint, zigzag};
+
+/// The eight magic bytes opening every binary trace file.
+pub const MAGIC: [u8; 8] = *b"ATHTRACE";
+
+/// The binary format version this build reads and writes.
+pub const VERSION: u16 = 1;
+
+/// Total size of the fixed header, in bytes.
+pub const HEADER_LEN: u64 = 32;
+
+/// Byte offset of the record/load counters inside the header (patched on
+/// [`BinaryTraceWriter::finish`]).
+const COUNTS_OFFSET: u64 = 16;
+
+/// Record tags (kind + boolean payload folded into one byte).
+const TAG_ALU: u8 = 0;
+const TAG_LOAD: u8 = 1;
+const TAG_LOAD_DEP: u8 = 2;
+const TAG_STORE: u8 = 3;
+const TAG_BRANCH_NOT_TAKEN: u8 = 4;
+const TAG_BRANCH_TAKEN: u8 = 5;
+
+/// The decoded fixed header of a binary trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Format version the file was written with.
+    pub version: u16,
+    /// Number of records (instructions) in the file.
+    pub records: u64,
+    /// Number of load records in the file.
+    pub loads: u64,
+}
+
+/// Streaming writer for the binary format.
+///
+/// Counts are not known until the stream ends, so the header is written with zeroed
+/// counters up front and patched in place by [`BinaryTraceWriter::finish`] — which is why
+/// the sink must be `Write + Seek` (a [`std::fs::File`], a `BufWriter<File>`, or an
+/// in-memory `Cursor`). Dropping the writer without calling `finish` leaves a file whose
+/// header claims zero records; readers will reject its body as trailing bytes, so a
+/// half-written trace cannot be mistaken for a complete one.
+#[derive(Debug)]
+pub struct BinaryTraceWriter<W: Write + Seek> {
+    out: W,
+    records: u64,
+    loads: u64,
+    last_pc: u64,
+    last_addr: u64,
+}
+
+impl<W: Write + Seek> BinaryTraceWriter<W> {
+    /// Opens a writer on `out`, writing the placeholder header immediately.
+    pub fn new(mut out: W) -> Result<Self, TraceIoError> {
+        let mut header = [0u8; HEADER_LEN as usize];
+        header[..8].copy_from_slice(&MAGIC);
+        header[8..10].copy_from_slice(&VERSION.to_le_bytes());
+        // Bytes 10..16 are reserved (zero); the counters at 16..32 are patched on finish.
+        out.write_all(&header)?;
+        Ok(Self {
+            out,
+            records: 0,
+            loads: 0,
+            last_pc: 0,
+            last_addr: 0,
+        })
+    }
+
+    /// Appends one record.
+    pub fn write_record(&mut self, r: TraceRecord) -> Result<(), TraceIoError> {
+        let pc_delta = zigzag(r.pc.wrapping_sub(self.last_pc) as i64);
+        self.last_pc = r.pc;
+        match r.kind {
+            InstrKind::Alu => {
+                self.out.write_all(&[TAG_ALU])?;
+                write_varint(&mut self.out, pc_delta)?;
+            }
+            InstrKind::Load {
+                addr,
+                dep_on_recent_load,
+            } => {
+                let tag = if dep_on_recent_load {
+                    TAG_LOAD_DEP
+                } else {
+                    TAG_LOAD
+                };
+                self.out.write_all(&[tag])?;
+                write_varint(&mut self.out, pc_delta)?;
+                write_varint(
+                    &mut self.out,
+                    zigzag(addr.wrapping_sub(self.last_addr) as i64),
+                )?;
+                self.last_addr = addr;
+                self.loads += 1;
+            }
+            InstrKind::Store { addr } => {
+                self.out.write_all(&[TAG_STORE])?;
+                write_varint(&mut self.out, pc_delta)?;
+                write_varint(
+                    &mut self.out,
+                    zigzag(addr.wrapping_sub(self.last_addr) as i64),
+                )?;
+                self.last_addr = addr;
+            }
+            InstrKind::Branch { taken } => {
+                let tag = if taken {
+                    TAG_BRANCH_TAKEN
+                } else {
+                    TAG_BRANCH_NOT_TAKEN
+                };
+                self.out.write_all(&[tag])?;
+                write_varint(&mut self.out, pc_delta)?;
+            }
+        }
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.records
+    }
+
+    /// Patches the header counters, flushes, and returns the underlying sink.
+    pub fn finish(mut self) -> Result<W, TraceIoError> {
+        self.out.flush()?;
+        self.out.seek(SeekFrom::Start(COUNTS_OFFSET))?;
+        self.out.write_all(&self.records.to_le_bytes())?;
+        self.out.write_all(&self.loads.to_le_bytes())?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Streaming reader for the binary format.
+///
+/// Wrap file inputs in a [`std::io::BufReader`] — the decoder reads a byte at a time.
+/// The reader validates the magic and version at construction, decodes exactly the number
+/// of records the header promises, and rejects both truncation and trailing bytes.
+#[derive(Debug)]
+pub struct BinaryTraceReader<R: Read> {
+    input: R,
+    header: TraceHeader,
+    decoded: u64,
+    loads_decoded: u64,
+    last_pc: u64,
+    last_addr: u64,
+    /// Set once the end of the stream has been checked, so the trailing-bytes probe reads
+    /// exactly once.
+    finished: bool,
+    /// Set if that probe found trailing bytes; the error is sticky — every subsequent
+    /// call keeps failing rather than reporting a clean end.
+    trailing: bool,
+}
+
+impl<R: Read> BinaryTraceReader<R> {
+    /// Opens a reader on `input`, validating the header.
+    pub fn new(mut input: R) -> Result<Self, TraceIoError> {
+        let mut header = [0u8; HEADER_LEN as usize];
+        input
+            .read_exact(&mut header)
+            .map_err(|_| TraceIoError::BadMagic)?;
+        if header[..8] != MAGIC {
+            return Err(TraceIoError::BadMagic);
+        }
+        let version = u16::from_le_bytes([header[8], header[9]]);
+        if version != VERSION {
+            return Err(TraceIoError::UnsupportedVersion(version));
+        }
+        let u64_at = |off: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&header[off..off + 8]);
+            u64::from_le_bytes(b)
+        };
+        Ok(Self {
+            input,
+            header: TraceHeader {
+                version,
+                records: u64_at(16),
+                loads: u64_at(24),
+            },
+            decoded: 0,
+            loads_decoded: 0,
+            last_pc: 0,
+            last_addr: 0,
+            finished: false,
+            trailing: false,
+        })
+    }
+
+    /// The decoded file header.
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Decodes the next record, `Ok(None)` at the (verified) end of the trace.
+    pub fn try_next(&mut self) -> Result<Option<TraceRecord>, TraceIoError> {
+        if self.decoded == self.header.records {
+            if !self.finished {
+                self.finished = true;
+                let mut byte = [0u8; 1];
+                self.trailing = self.input.read(&mut byte)? != 0;
+            }
+            if self.trailing {
+                return Err(TraceIoError::corrupt(
+                    self.decoded,
+                    "trailing bytes after the final record",
+                ));
+            }
+            if self.loads_decoded != self.header.loads {
+                return Err(TraceIoError::corrupt(
+                    self.decoded,
+                    format!(
+                        "header promises {} loads, stream contains {}",
+                        self.header.loads, self.loads_decoded
+                    ),
+                ));
+            }
+            return Ok(None);
+        }
+        let at = self.decoded;
+        let mut tag = [0u8; 1];
+        if self.input.read(&mut tag)? == 0 {
+            return Err(TraceIoError::corrupt(
+                at,
+                format!(
+                    "trace truncated: header promises {} records, stream ended after {at}",
+                    self.header.records
+                ),
+            ));
+        }
+        let pc_delta = self.read_required_varint(at)?;
+        let pc = self.last_pc.wrapping_add(unzigzag(pc_delta) as u64);
+        self.last_pc = pc;
+        let kind = match tag[0] {
+            TAG_ALU => InstrKind::Alu,
+            TAG_LOAD | TAG_LOAD_DEP => {
+                let addr = self.read_addr(at)?;
+                self.loads_decoded += 1;
+                InstrKind::Load {
+                    addr,
+                    dep_on_recent_load: tag[0] == TAG_LOAD_DEP,
+                }
+            }
+            TAG_STORE => InstrKind::Store {
+                addr: self.read_addr(at)?,
+            },
+            TAG_BRANCH_NOT_TAKEN => InstrKind::Branch { taken: false },
+            TAG_BRANCH_TAKEN => InstrKind::Branch { taken: true },
+            bad => {
+                return Err(TraceIoError::corrupt(
+                    at,
+                    format!("unknown record tag {bad}"),
+                ))
+            }
+        };
+        self.decoded += 1;
+        Ok(Some(TraceRecord { pc, kind }))
+    }
+
+    fn read_required_varint(&mut self, at: u64) -> Result<u64, TraceIoError> {
+        read_varint(&mut self.input, at)?
+            .ok_or_else(|| TraceIoError::corrupt(at, "record truncated mid-field"))
+    }
+
+    fn read_addr(&mut self, at: u64) -> Result<u64, TraceIoError> {
+        let delta = self.read_required_varint(at)?;
+        let addr = self.last_addr.wrapping_add(unzigzag(delta) as u64);
+        self.last_addr = addr;
+        Ok(addr)
+    }
+}
+
+impl<R: Read> TraceSource for BinaryTraceReader<R> {
+    /// Streams the next record.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a corrupt or truncated stream — `TraceSource` has no error channel, and
+    /// silently ending a damaged trace would let a corrupted file masquerade as a shorter
+    /// workload. Inside the experiment engine the panic is caught per cell. Use
+    /// [`BinaryTraceReader::try_next`] where errors must be handled gracefully.
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        self.try_next()
+            .unwrap_or_else(|e| panic!("binary trace replay failed: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::alu(0x400000),
+            TraceRecord::load(0x400004, 0x1000_0040, false),
+            TraceRecord::load(0x400008, 0x1000_0080, true),
+            TraceRecord::store(0x40000c, 0x2000_0000),
+            TraceRecord::branch(0x400010, true),
+            TraceRecord::branch(0x400000, false),
+            // Address moving backwards and a pc far away: zigzag handles both signs.
+            TraceRecord::load(0x99_0000, 0x0fff_ffc0, false),
+        ]
+    }
+
+    fn encode(records: &[TraceRecord]) -> Vec<u8> {
+        let mut w = BinaryTraceWriter::new(Cursor::new(Vec::new())).unwrap();
+        for r in records {
+            w.write_record(*r).unwrap();
+        }
+        w.finish().unwrap().into_inner()
+    }
+
+    #[test]
+    fn round_trips_every_record_kind() {
+        let records = sample_records();
+        let bytes = encode(&records);
+        let mut r = BinaryTraceReader::new(Cursor::new(&bytes)).unwrap();
+        assert_eq!(
+            *r.header(),
+            TraceHeader {
+                version: VERSION,
+                records: records.len() as u64,
+                loads: 3,
+            }
+        );
+        let got: Vec<TraceRecord> = std::iter::from_fn(|| r.next_record()).collect();
+        assert_eq!(got, records);
+        // Idempotent end-of-stream.
+        assert!(r.try_next().unwrap().is_none());
+    }
+
+    #[test]
+    fn sequential_records_encode_compactly() {
+        // A streaming pattern: same pc page, line-by-line addresses. Header (32) plus a
+        // handful of bytes per record — far below the 24-byte in-memory footprint.
+        let records: Vec<TraceRecord> = (0..1000)
+            .map(|i| TraceRecord::load(0x400004, 0x1000_0000 + i * 64, false))
+            .collect();
+        let bytes = encode(&records);
+        // First record pays full-width deltas (~10 bytes); steady state is 4 bytes per
+        // record (tag + 1-byte pc delta + 2-byte line-stride addr delta).
+        assert!(
+            bytes.len() <= HEADER_LEN as usize + 10 + records.len() * 4,
+            "1000 streaming loads took {} bytes",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode(&sample_records());
+        bytes[0] = b'X';
+        assert!(matches!(
+            BinaryTraceReader::new(Cursor::new(&bytes)),
+            Err(TraceIoError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = encode(&sample_records());
+        bytes[8] = 0xff;
+        bytes[9] = 0x7f;
+        assert!(matches!(
+            BinaryTraceReader::new(Cursor::new(&bytes)),
+            Err(TraceIoError::UnsupportedVersion(0x7fff))
+        ));
+    }
+
+    #[test]
+    fn truncated_header_is_rejected() {
+        let bytes = encode(&sample_records());
+        for len in [0, 7, 16, 31] {
+            assert!(
+                matches!(
+                    BinaryTraceReader::new(Cursor::new(&bytes[..len])),
+                    Err(TraceIoError::BadMagic)
+                ),
+                "header cut to {len} bytes must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_an_error_not_a_short_trace() {
+        let bytes = encode(&sample_records());
+        let cut = &bytes[..bytes.len() - 3];
+        let mut r = BinaryTraceReader::new(Cursor::new(cut)).unwrap();
+        let mut saw_error = false;
+        for _ in 0..sample_records().len() {
+            match r.try_next() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("truncated trace must not end cleanly"),
+                Err(TraceIoError::Corrupt { .. }) => {
+                    saw_error = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(saw_error);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode(&sample_records());
+        bytes.push(0x00);
+        let mut r = BinaryTraceReader::new(Cursor::new(&bytes)).unwrap();
+        while let Ok(Some(_)) = r.try_next() {}
+        assert!(matches!(r.try_next(), Err(TraceIoError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let records = [TraceRecord::alu(0x400000)];
+        let mut bytes = encode(&records);
+        bytes[HEADER_LEN as usize] = 0x3f;
+        let mut r = BinaryTraceReader::new(Cursor::new(&bytes)).unwrap();
+        assert!(matches!(r.try_next(), Err(TraceIoError::Corrupt { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "binary trace replay failed")]
+    fn trace_source_panics_on_corruption() {
+        let bytes = encode(&sample_records());
+        let mut r = BinaryTraceReader::new(Cursor::new(&bytes[..bytes.len() - 2])).unwrap();
+        while r.next_record().is_some() {}
+    }
+}

@@ -1,0 +1,195 @@
+//! Whole-trace summaries: instruction mix, footprint and a first-order miss profile.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use athena_sim::{InstrKind, TraceSource, LINE_SIZE, PAGE_SIZE};
+
+/// Aggregate statistics of one trace, computed in a single streaming pass.
+///
+/// Memory use is bounded by the trace's *footprint* (one hash-set entry per distinct cache
+/// line / page / pc), not by its length — a billion-instruction trace over a 100 MB
+/// working set summarises in a few tens of MB.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total records scanned.
+    pub records: u64,
+    /// Load records.
+    pub loads: u64,
+    /// Loads whose address depends on the previous load (pointer chasing).
+    pub dependent_loads: u64,
+    /// Store records.
+    pub stores: u64,
+    /// Conditional-branch records.
+    pub branches: u64,
+    /// Branches that were taken.
+    pub taken_branches: u64,
+    /// Distinct cache lines touched by loads and stores.
+    pub distinct_lines: u64,
+    /// Distinct virtual pages touched by loads and stores.
+    pub distinct_pages: u64,
+    /// Distinct program counters seen.
+    pub distinct_pcs: u64,
+}
+
+impl TraceSummary {
+    /// Scans at most `limit` records from `source` (`u64::MAX` for the whole trace).
+    pub fn scan(source: &mut dyn TraceSource, limit: u64) -> Self {
+        let mut s = Self::default();
+        let mut lines: HashSet<u64> = HashSet::new();
+        let mut pages: HashSet<u64> = HashSet::new();
+        let mut pcs: HashSet<u64> = HashSet::new();
+        while s.records < limit {
+            let Some(r) = source.next_record() else {
+                break;
+            };
+            s.records += 1;
+            pcs.insert(r.pc);
+            match r.kind {
+                InstrKind::Alu => {}
+                InstrKind::Load {
+                    addr,
+                    dep_on_recent_load,
+                } => {
+                    s.loads += 1;
+                    s.dependent_loads += u64::from(dep_on_recent_load);
+                    lines.insert(addr / LINE_SIZE);
+                    pages.insert(addr / PAGE_SIZE);
+                }
+                InstrKind::Store { addr } => {
+                    s.stores += 1;
+                    lines.insert(addr / LINE_SIZE);
+                    pages.insert(addr / PAGE_SIZE);
+                }
+                InstrKind::Branch { taken } => {
+                    s.branches += 1;
+                    s.taken_branches += u64::from(taken);
+                }
+            }
+        }
+        s.distinct_lines = lines.len() as u64;
+        s.distinct_pages = pages.len() as u64;
+        s.distinct_pcs = pcs.len() as u64;
+        s
+    }
+
+    /// Data footprint in bytes (distinct cache lines × line size).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.distinct_lines * LINE_SIZE
+    }
+
+    /// Fraction of loads that are dependent (pointer chasing); 0 for a load-free trace.
+    pub fn dependent_load_fraction(&self) -> f64 {
+        if self.loads == 0 {
+            return 0.0;
+        }
+        self.dependent_loads as f64 / self.loads as f64
+    }
+
+    /// First-order miss profile: the fraction of memory accesses that touch a line for the
+    /// first time. This is the trace's *compulsory* (cold) miss rate — an upper bound on
+    /// how much any cache can help, and a quick separator of streaming workloads (high)
+    /// from reuse-heavy ones (low).
+    pub fn cold_access_fraction(&self) -> f64 {
+        let accesses = self.loads + self.stores;
+        if accesses == 0 {
+            return 0.0;
+        }
+        self.distinct_lines as f64 / accesses as f64
+    }
+
+    /// Mean accesses per distinct line (the inverse view of
+    /// [`TraceSummary::cold_access_fraction`]); 0 for a trace with no memory accesses.
+    pub fn line_reuse(&self) -> f64 {
+        if self.distinct_lines == 0 {
+            return 0.0;
+        }
+        (self.loads + self.stores) as f64 / self.distinct_lines as f64
+    }
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "records:            {}", self.records)?;
+        writeln!(
+            f,
+            "loads:              {} ({:.1}% dependent)",
+            self.loads,
+            100.0 * self.dependent_load_fraction()
+        )?;
+        writeln!(f, "stores:             {}", self.stores)?;
+        writeln!(
+            f,
+            "branches:           {} ({:.1}% taken)",
+            self.branches,
+            if self.branches > 0 {
+                100.0 * self.taken_branches as f64 / self.branches as f64
+            } else {
+                0.0
+            }
+        )?;
+        writeln!(
+            f,
+            "footprint:          {:.2} MiB ({} lines, {} pages)",
+            self.footprint_bytes() as f64 / (1 << 20) as f64,
+            self.distinct_lines,
+            self.distinct_pages
+        )?;
+        writeln!(f, "distinct pcs:       {}", self.distinct_pcs)?;
+        write!(
+            f,
+            "miss profile:       {:.1}% cold accesses, {:.1}x line reuse",
+            100.0 * self.cold_access_fraction(),
+            self.line_reuse()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use athena_sim::TraceRecord;
+
+    #[test]
+    fn summary_counts_mix_and_footprint() {
+        let records = vec![
+            TraceRecord::alu(0x400),
+            TraceRecord::load(0x404, 0x10_0000, false),
+            TraceRecord::load(0x408, 0x10_0040, true),
+            TraceRecord::load(0x404, 0x10_0000, false), // same line again
+            TraceRecord::store(0x40c, 0x20_0000),
+            TraceRecord::branch(0x410, true),
+            TraceRecord::branch(0x410, false),
+        ];
+        let mut src = records.into_iter();
+        let s = TraceSummary::scan(&mut src, u64::MAX);
+        assert_eq!(s.records, 7);
+        assert_eq!(s.loads, 3);
+        assert_eq!(s.dependent_loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.branches, 2);
+        assert_eq!(s.taken_branches, 1);
+        assert_eq!(s.distinct_lines, 3);
+        assert_eq!(s.distinct_pages, 2);
+        assert_eq!(s.footprint_bytes(), 3 * LINE_SIZE);
+        assert!((s.cold_access_fraction() - 0.75).abs() < 1e-12);
+        assert!((s.line_reuse() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scan_respects_the_limit() {
+        let mut src = (0..100u64).map(|i| TraceRecord::alu(0x400 + i));
+        let s = TraceSummary::scan(&mut src, 10);
+        assert_eq!(s.records, 10);
+        assert_eq!(s.distinct_pcs, 10);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let mut src = vec![TraceRecord::load(0x400, 0x1000, false)].into_iter();
+        let text = TraceSummary::scan(&mut src, u64::MAX).to_string();
+        assert!(text.contains("records:"));
+        assert!(text.contains("footprint:"));
+        assert!(text.contains("miss profile:"));
+    }
+}

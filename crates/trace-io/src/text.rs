@@ -1,0 +1,226 @@
+//! The line-oriented text format: one record per line, hexadecimal fields, `#` comments.
+//!
+//! See the crate-level docs for the grammar. The text format exists for human inspection,
+//! diffing, and interchange with external tools (a ChampSim-style trace converter can
+//! target it with a dozen lines of script); the binary format is the one meant for bulk
+//! storage and replay.
+
+use std::io::{BufRead, Write};
+
+use athena_sim::{InstrKind, TraceRecord, TraceSource};
+
+use crate::error::TraceIoError;
+
+/// The signature line opening every text trace.
+pub const TEXT_SIGNATURE: &str = "#athena-trace v1";
+
+/// Streaming writer for the text format.
+#[derive(Debug)]
+pub struct TextTraceWriter<W: Write> {
+    out: W,
+    records: u64,
+}
+
+impl<W: Write> TextTraceWriter<W> {
+    /// Opens a writer on `out`, emitting the signature line immediately.
+    pub fn new(mut out: W) -> Result<Self, TraceIoError> {
+        writeln!(out, "{TEXT_SIGNATURE}")?;
+        Ok(Self { out, records: 0 })
+    }
+
+    /// Writes a `#`-prefixed comment line (workload name, provenance, …).
+    pub fn write_comment(&mut self, comment: &str) -> Result<(), TraceIoError> {
+        writeln!(self.out, "# {comment}")?;
+        Ok(())
+    }
+
+    /// Appends one record as a text line.
+    pub fn write_record(&mut self, r: TraceRecord) -> Result<(), TraceIoError> {
+        match r.kind {
+            InstrKind::Alu => writeln!(self.out, "a {:x}", r.pc)?,
+            InstrKind::Load {
+                addr,
+                dep_on_recent_load,
+            } => {
+                let op = if dep_on_recent_load { 'd' } else { 'l' };
+                writeln!(self.out, "{op} {:x} {addr:x}", r.pc)?;
+            }
+            InstrKind::Store { addr } => writeln!(self.out, "s {:x} {addr:x}", r.pc)?,
+            InstrKind::Branch { taken } => {
+                writeln!(self.out, "b {:x} {}", r.pc, if taken { 't' } else { 'n' })?;
+            }
+        }
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes and returns the underlying sink.
+    pub fn finish(mut self) -> Result<W, TraceIoError> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Streaming reader for the text format.
+///
+/// Reads line by line (bounded memory), skipping blank and `#`-comment lines.
+#[derive(Debug)]
+pub struct TextTraceReader<R: BufRead> {
+    input: R,
+    line_no: u64,
+}
+
+impl<R: BufRead> TextTraceReader<R> {
+    /// Opens a reader on `input`, validating the signature line.
+    pub fn new(mut input: R) -> Result<Self, TraceIoError> {
+        let mut first = String::new();
+        input.read_line(&mut first)?;
+        if first.trim_end() != TEXT_SIGNATURE {
+            return Err(TraceIoError::BadMagic);
+        }
+        Ok(Self { input, line_no: 1 })
+    }
+
+    /// Parses the next record, `Ok(None)` at end of file.
+    pub fn try_next(&mut self) -> Result<Option<TraceRecord>, TraceIoError> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.input.read_line(&mut line)? == 0 {
+                return Ok(None);
+            }
+            self.line_no += 1;
+            let body = line.trim();
+            if body.is_empty() || body.starts_with('#') {
+                continue;
+            }
+            return self.parse_line(body).map(Some);
+        }
+    }
+
+    fn parse_line(&self, body: &str) -> Result<TraceRecord, TraceIoError> {
+        let at = self.line_no;
+        let corrupt = |reason: String| TraceIoError::corrupt(at, reason);
+        let mut fields = body.split_whitespace();
+        let op = fields.next().expect("body is non-empty");
+        let mut hex = |name: &str| -> Result<u64, TraceIoError> {
+            let field = fields
+                .next()
+                .ok_or_else(|| corrupt(format!("missing {name} field in '{body}'")))?;
+            u64::from_str_radix(field, 16)
+                .map_err(|_| corrupt(format!("bad hex {name} '{field}' in '{body}'")))
+        };
+        let record = match op {
+            "a" => TraceRecord::alu(hex("pc")?),
+            "l" => TraceRecord::load(hex("pc")?, hex("addr")?, false),
+            "d" => TraceRecord::load(hex("pc")?, hex("addr")?, true),
+            "s" => TraceRecord::store(hex("pc")?, hex("addr")?),
+            "b" => {
+                let pc = hex("pc")?;
+                let taken = match fields.next() {
+                    Some("t") => true,
+                    Some("n") => false,
+                    other => {
+                        return Err(corrupt(format!(
+                            "bad branch direction {other:?} in '{body}' (expected t or n)"
+                        )))
+                    }
+                };
+                TraceRecord::branch(pc, taken)
+            }
+            other => return Err(corrupt(format!("unknown opcode '{other}' in '{body}'"))),
+        };
+        if let Some(extra) = fields.next() {
+            return Err(corrupt(format!("trailing field '{extra}' in '{body}'")));
+        }
+        Ok(record)
+    }
+}
+
+impl<R: BufRead> TraceSource for TextTraceReader<R> {
+    /// Streams the next record.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unparsable line, for the same reason as
+    /// [`crate::BinaryTraceReader`]'s impl: `TraceSource` has no error channel and a
+    /// damaged trace must not silently end early. Use
+    /// [`TextTraceReader::try_next`] where errors must be handled gracefully.
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        self.try_next()
+            .unwrap_or_else(|e| panic!("text trace replay failed: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::alu(0x400000),
+            TraceRecord::load(0x400004, 0x1000_0040, false),
+            TraceRecord::load(0x400008, 0x1000_0080, true),
+            TraceRecord::store(0x40000c, 0x2000_0000),
+            TraceRecord::branch(0x400010, true),
+            TraceRecord::branch(0x400014, false),
+        ]
+    }
+
+    fn encode(records: &[TraceRecord]) -> String {
+        let mut w = TextTraceWriter::new(Cursor::new(Vec::new())).unwrap();
+        w.write_comment("unit-test trace").unwrap();
+        for r in records {
+            w.write_record(*r).unwrap();
+        }
+        String::from_utf8(w.finish().unwrap().into_inner()).unwrap()
+    }
+
+    #[test]
+    fn round_trips_every_record_kind() {
+        let records = sample_records();
+        let text = encode(&records);
+        assert!(text.starts_with(TEXT_SIGNATURE));
+        let mut r = TextTraceReader::new(Cursor::new(text.as_bytes())).unwrap();
+        let got: Vec<TraceRecord> = std::iter::from_fn(|| r.next_record()).collect();
+        assert_eq!(got, records);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = format!("{TEXT_SIGNATURE}\n\n# comment\na 400\n\n# more\nb 404 t\n");
+        let mut r = TextTraceReader::new(Cursor::new(text.as_bytes())).unwrap();
+        assert_eq!(r.try_next().unwrap(), Some(TraceRecord::alu(0x400)));
+        assert_eq!(
+            r.try_next().unwrap(),
+            Some(TraceRecord::branch(0x404, true))
+        );
+        assert_eq!(r.try_next().unwrap(), None);
+    }
+
+    #[test]
+    fn missing_signature_is_rejected() {
+        assert!(matches!(
+            TextTraceReader::new(Cursor::new(b"a 400\n".as_slice())),
+            Err(TraceIoError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn bad_lines_are_rejected_with_line_numbers() {
+        for bad in ["z 400", "l 400", "l xyz 10", "b 400 q", "a 400 extra"] {
+            let text = format!("{TEXT_SIGNATURE}\n{bad}\n");
+            let mut r = TextTraceReader::new(Cursor::new(text.as_bytes())).unwrap();
+            match r.try_next() {
+                Err(TraceIoError::Corrupt { at, .. }) => assert_eq!(at, 2, "line {bad}"),
+                other => panic!("'{bad}' must be rejected, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! LEB128 varints and zigzag signed mapping — the primitives of the binary record
+//! encoding.
+
+use std::io::{Read, Write};
+
+use crate::error::TraceIoError;
+
+/// Maps a signed delta onto an unsigned value so that small magnitudes of either sign
+/// become small varints: `0 → 0, -1 → 1, 1 → 2, -2 → 3, …`.
+pub(crate) fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub(crate) fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Writes `v` as an LEB128 varint (7 payload bits per byte, high bit = continuation).
+pub(crate) fn write_varint(out: &mut impl Write, mut v: u64) -> std::io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return out.write_all(&[byte]);
+        }
+        out.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// Reads an LEB128 varint. `at` is the current record index, used to label corruption.
+///
+/// Returns `Ok(None)` on clean EOF *before the first byte* (so callers can distinguish
+/// end-of-stream from mid-varint truncation, which is an error).
+pub(crate) fn read_varint(input: &mut impl Read, at: u64) -> Result<Option<u64>, TraceIoError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    let mut first = true;
+    loop {
+        let mut byte = [0u8; 1];
+        match input.read(&mut byte)? {
+            0 if first => return Ok(None),
+            0 => return Err(TraceIoError::corrupt(at, "varint truncated mid-value")),
+            _ => {}
+        }
+        first = false;
+        if shift >= 64 {
+            return Err(TraceIoError::corrupt(at, "varint longer than 64 bits"));
+        }
+        value |= u64::from(byte[0] & 0x7f) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(Some(value));
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 0x1234_5678] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn varints_round_trip_and_small_values_are_one_byte() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            if v < 128 {
+                assert_eq!(buf.len(), 1);
+            }
+            let got = read_varint(&mut buf.as_slice(), 0).unwrap();
+            assert_eq!(got, Some(v));
+        }
+    }
+
+    #[test]
+    fn truncated_varint_is_an_error_but_clean_eof_is_none() {
+        assert!(read_varint(&mut [].as_slice(), 7).unwrap().is_none());
+        let err = read_varint(&mut [0x80u8].as_slice(), 7).unwrap_err();
+        assert!(matches!(err, TraceIoError::Corrupt { at: 7, .. }));
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        let overlong = [0x80u8; 11];
+        let err = read_varint(&mut overlong.as_slice(), 0).unwrap_err();
+        assert!(matches!(err, TraceIoError::Corrupt { .. }));
+    }
+}

@@ -34,7 +34,8 @@ mod suite;
 pub use generator::{Pattern, TraceGenerator};
 pub use mixes::{mixes, MixCategory, WorkloadMix};
 pub use suite::{
-    all_workloads, google_like_workloads, suite_workloads, tuning_workloads, Suite, WorkloadSpec,
+    all_workloads, find_workload, google_like_workloads, suite_workloads, tuning_workloads, Suite,
+    WorkloadSpec,
 };
 
 // The experiment engine (`athena-engine`) moves specs and mixes across worker threads as

@@ -280,6 +280,19 @@ pub fn all_workloads() -> Vec<WorkloadSpec> {
     w
 }
 
+/// Looks a workload up by name across every set this crate defines: the 100 evaluation
+/// workloads, the 20 held-out tuning workloads and the Google-like unseen set.
+///
+/// Used by the `trace` CLI to resolve `--workload <name>`; returns `None` for an unknown
+/// name rather than guessing.
+pub fn find_workload(name: &str) -> Option<WorkloadSpec> {
+    all_workloads()
+        .into_iter()
+        .chain(tuning_workloads())
+        .chain(google_like_workloads())
+        .find(|w| w.name == name)
+}
+
 /// The workloads of one suite, in suite order.
 pub fn suite_workloads(suite: Suite) -> Vec<WorkloadSpec> {
     if suite == Suite::GoogleLike {

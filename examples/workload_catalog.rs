@@ -1,0 +1,75 @@
+//! Prints the README's "Workload catalog" table (suite × access-pattern class × count),
+//! generated from `all_workloads()` so the documentation cannot drift from the code:
+//!
+//! ```sh
+//! cargo run --release --example workload_catalog
+//! ```
+
+use std::collections::BTreeMap;
+
+use athena_repro::workloads::{all_workloads, Pattern, Suite};
+
+fn pattern_class(p: &Pattern) -> &'static str {
+    match p {
+        Pattern::Stream { .. } => "stream",
+        Pattern::Strided { .. } => "strided",
+        Pattern::Spatial { .. } => "spatial",
+        Pattern::PointerChase { .. } => "pointer-chase",
+        Pattern::HashProbe { .. } => "hash-probe",
+        Pattern::GraphFrontier { .. } => "graph-frontier",
+        Pattern::MixedPhase { .. } => "mixed-phase",
+        Pattern::ComputeBranchy { .. } => "compute-branchy",
+    }
+}
+
+fn main() {
+    let suites = [Suite::Spec, Suite::Parsec, Suite::Ligra, Suite::Cvp];
+    let classes = [
+        "stream",
+        "strided",
+        "spatial",
+        "pointer-chase",
+        "hash-probe",
+        "graph-frontier",
+        "mixed-phase",
+        "compute-branchy",
+    ];
+    let mut counts: BTreeMap<(String, &'static str), usize> = BTreeMap::new();
+    let all = all_workloads();
+    for w in &all {
+        *counts
+            .entry((w.suite.to_string(), pattern_class(&w.pattern)))
+            .or_default() += 1;
+    }
+
+    print!("| Pattern class |");
+    for s in &suites {
+        print!(" {s} |");
+    }
+    println!(" total |");
+    print!("|---|");
+    for _ in &suites {
+        print!("---|");
+    }
+    println!("---|");
+    for class in classes {
+        print!("| `{class}` |");
+        let mut total = 0;
+        for s in &suites {
+            let n = counts.get(&(s.to_string(), class)).copied().unwrap_or(0);
+            total += n;
+            if n == 0 {
+                print!(" — |");
+            } else {
+                print!(" {n} |");
+            }
+        }
+        println!(" {total} |");
+    }
+    print!("| **total** |");
+    for s in &suites {
+        let n = all.iter().filter(|w| w.suite == *s).count();
+        print!(" **{n}** |");
+    }
+    println!(" **{}** |", all.len());
+}

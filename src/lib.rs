@@ -20,9 +20,10 @@
 //! * [`athena`] — the Athena RL coordination agent (the paper's contribution).
 //! * [`coordinators`] — Naive, HPAC, MAB, TLP baseline policies.
 //! * [`workloads`] — the 100-workload synthetic trace suite.
+//! * [`trace_io`] — on-disk trace formats (binary + text) and streaming replay.
 //! * [`engine`] — the parallel experiment engine (jobs, deterministic seeding, worker
 //!   pool, JSON reports).
-//! * [`harness`] — the per-figure experiment harness and `figures` CLI.
+//! * [`harness`] — the per-figure experiment harness and the `figures` / `trace` CLIs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +35,7 @@ pub use athena_harness as harness;
 pub use athena_ocp as ocp;
 pub use athena_prefetchers as prefetchers;
 pub use athena_sim as sim;
+pub use athena_trace_io as trace_io;
 pub use athena_workloads as workloads;
 
 /// Commonly used items, re-exported for convenience.
@@ -46,7 +48,13 @@ pub mod prelude {
         RunResult, SystemConfig,
     };
     pub use athena_sim::{
-        Coordinator, EpochStats, OffChipPredictor, Prefetcher, SimConfig, Simulator,
+        Coordinator, EpochStats, OffChipPredictor, Prefetcher, SimConfig, Simulator, TraceRecord,
+        TraceSource,
     };
-    pub use athena_workloads::{all_workloads, mixes, suite_workloads, Suite, WorkloadSpec};
+    pub use athena_trace_io::{
+        convert, open_trace, record_trace, TraceFormat, TraceIoError, TraceSummary,
+    };
+    pub use athena_workloads::{
+        all_workloads, find_workload, mixes, suite_workloads, Suite, WorkloadSpec,
+    };
 }

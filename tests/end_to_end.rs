@@ -192,9 +192,10 @@ fn quick_figure_experiments_produce_consistent_tables() {
         instructions: 12_000,
         workload_limit: Some(4),
         jobs: 2,
+        trace_dir: None,
     };
     for fig in ["fig2", "fig7", "tab4"] {
-        let table = experiments::run_experiment(fig, opts).expect(fig);
+        let table = experiments::run_experiment(fig, &opts).expect(fig);
         assert!(!table.rows.is_empty(), "{fig} has rows");
         for (_, values) in &table.rows {
             assert_eq!(values.len(), table.columns.len());

@@ -50,11 +50,12 @@ fn tables_are_byte_identical_across_worker_counts() {
         instructions: 8_000,
         workload_limit: Some(4),
         jobs: 1,
+        trace_dir: None,
     };
     // One category sweep, one raw-stats figure and one multi-core figure.
     for fig in ["fig7", "fig3", "fig15"] {
-        let serial = run_experiment(fig, opts).expect(fig);
-        let parallel = run_experiment(fig, opts.with_jobs(4)).expect(fig);
+        let serial = run_experiment(fig, &opts).expect(fig);
+        let parallel = run_experiment(fig, &opts.clone().with_jobs(4)).expect(fig);
         assert_eq!(serial, parallel, "{fig} tables diverged");
         assert_eq!(
             serial.to_csv(),

@@ -26,6 +26,7 @@ fn prelude_reexports_are_usable() {
         instructions: 1_000,
         workload_limit: Some(1),
         jobs: 1,
+        trace_dir: None,
     };
     assert_eq!(opts.workload_limit, Some(1));
 }
