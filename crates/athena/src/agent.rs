@@ -1,7 +1,9 @@
 //! The Athena agent: SARSA-based coordination of prefetchers and the off-chip predictor,
 //! plus Q-value-driven prefetcher aggressiveness control (§4, §5 of the paper).
 
-use athena_sim::{CoordinationDecision, Coordinator, EpochStats, PrefetcherInfo};
+use athena_sim::{
+    CoordinationDecision, Coordinator, CoordinatorTelemetry, EpochStats, PrefetcherInfo,
+};
 
 use crate::config::AthenaConfig;
 use crate::features::FeatureVector;
@@ -233,6 +235,18 @@ impl Coordinator for AthenaAgent {
         //    degree selection).
         self.decision_for(state, next_action)
     }
+
+    fn telemetry(&self) -> Option<CoordinatorTelemetry> {
+        let summary = self.qvstore.summary();
+        Some(CoordinatorTelemetry {
+            epsilon: self.config.epsilon,
+            updates: self.qvstore.updates(),
+            q_mean: summary.q_mean,
+            q_min: summary.q_min,
+            q_max: summary.q_max,
+            action_histogram: self.action_histogram.to_vec(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -447,6 +461,24 @@ mod tests {
             let d = agent.on_epoch_end(&EpochStats::default());
             assert_eq!(d.prefetcher_enable.len(), 1, "features={features:?}");
         }
+    }
+
+    #[test]
+    fn telemetry_snapshot_reflects_agent_state() {
+        let mut agent = AthenaAgent::new(exploring_config());
+        agent.attach(&info());
+        let mut env = ToyEnv {
+            prefetcher_penalty: 1000,
+            ocp_benefit: 500,
+            noise: 11,
+        };
+        run_env(&mut agent, &mut env, 100);
+        let t = agent.telemetry().expect("athena is a learning coordinator");
+        assert_eq!(t.epsilon, agent.config().epsilon);
+        assert_eq!(t.updates, agent.qvstore().updates());
+        assert!(t.updates > 0, "100 epochs must have applied SARSA updates");
+        assert_eq!(t.action_histogram.iter().sum::<u64>(), 100);
+        assert!(t.q_min <= t.q_mean && t.q_mean <= t.q_max);
     }
 
     #[test]

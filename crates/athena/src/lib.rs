@@ -43,5 +43,5 @@ pub use agent::{Action, AthenaAgent};
 pub use bloom::{AccuracyTracker, BloomFilter, PollutionTracker};
 pub use config::{AthenaConfig, RewardWeights, StorageOverhead};
 pub use features::{Feature, FeatureVector, LEVELS_PER_FEATURE};
-pub use qvstore::QvStore;
+pub use qvstore::{QvStore, QvSummary};
 pub use reward::CompositeReward;

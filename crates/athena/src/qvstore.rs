@@ -8,6 +8,19 @@
 //! value) against resolution (dissimilar states are de-aliased by the other hashes), while
 //! keeping each plane small enough for single-cycle access.
 
+/// Summary statistics over a [`QvStore`]'s contents (the telemetry layer's Q-value view).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QvSummary {
+    /// Expected Q-value of a uniformly random state-action pair: each plane contributes its
+    /// mean partial value, so the sum of per-plane means is the exact expectation under
+    /// uniform row hashing.
+    pub q_mean: f64,
+    /// Lower bound on any representable Q-value: the sum of each plane's minimum partial.
+    pub q_min: f64,
+    /// Upper bound on any representable Q-value: the sum of each plane's maximum partial.
+    pub q_max: f64,
+}
+
 /// The partitioned Q-value store.
 #[derive(Debug, Clone)]
 pub struct QvStore {
@@ -64,6 +77,29 @@ impl QvStore {
     /// Number of SARSA updates applied so far.
     pub fn updates(&self) -> u64 {
         self.updates
+    }
+
+    /// Summary statistics over the stored values (one full pass over the table — a few
+    /// thousand bytes; meant to be sampled at telemetry-window granularity, not per access).
+    pub fn summary(&self) -> QvSummary {
+        let mut s = QvSummary::default();
+        let entries_per_plane = (self.rows_per_plane * self.actions) as f64;
+        for plane in &self.planes {
+            let mut sum = 0i64;
+            let mut min = i8::MAX;
+            let mut max = i8::MIN;
+            for row in plane {
+                for &v in row {
+                    sum += i64::from(v);
+                    min = min.min(v);
+                    max = max.max(v);
+                }
+            }
+            s.q_mean += sum as f64 / entries_per_plane * self.q_step;
+            s.q_min += f64::from(min) * self.q_step;
+            s.q_max += f64::from(max) * self.q_step;
+        }
+        s
     }
 
     /// The hash of `state` for plane `plane`, producing a row index.
@@ -154,6 +190,20 @@ mod tests {
         assert_eq!(s.storage_bytes(), 2048);
         assert_eq!(s.planes(), 8);
         assert_eq!(s.actions(), 4);
+    }
+
+    #[test]
+    fn summary_tracks_learning() {
+        let mut s = QvStore::athena_sized();
+        let fresh = s.summary();
+        assert_eq!(fresh, QvSummary::default());
+        for _ in 0..50 {
+            s.sarsa_update(7, 2, 1.0, 7, 2, 0.6, 0.6);
+        }
+        let learned = s.summary();
+        assert!(learned.q_mean > 0.0, "positive learning raises the mean");
+        assert!(learned.q_max >= s.q_value(7, 2) - 1e-9, "max bounds any Q");
+        assert!(learned.q_min <= 0.0);
     }
 
     #[test]

@@ -16,11 +16,25 @@
 use std::path::PathBuf;
 
 use athena_sim::{MultiCoreResult, MultiCoreSimulator, Prefetcher, SimResult, Simulator};
+use athena_telemetry::Timeline;
 use athena_trace_io::open_trace;
 use athena_workloads::{WorkloadMix, WorkloadSpec};
 
 use crate::kinds::{CoordinatorKind, SystemConfig};
 use crate::seed::SeedHasher;
+
+/// Opt-in request for windowed time-series telemetry on a [`Job`].
+///
+/// Telemetry is pure observation: it never feeds back into the simulation, so it is
+/// deliberately **excluded from seed derivation** — running the same cell with and without
+/// a timeline (or with different window lengths) yields the same simulation result, and
+/// the timeline itself is a pure function of the cell. The one cost it enables is the
+/// per-epoch agent snapshot (a QVStore pass), which is why it is off by default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetrySpec {
+    /// Window length in instructions (windows round up to whole coordination epochs).
+    pub window_instructions: u64,
+}
 
 /// How a job seeds the stochastic parts of its mechanisms (today: the Athena agent's
 /// ε-greedy exploration stream).
@@ -91,6 +105,9 @@ pub struct Job {
     pub seed: u64,
     /// How the seed is applied; defaults to [`SeedPolicy::Config`].
     pub seed_policy: SeedPolicy,
+    /// Windowed-telemetry request, if any (see [`TelemetrySpec`]). Not part of the cell
+    /// identity: observability must never change what a cell computes.
+    pub telemetry: Option<TelemetrySpec>,
 }
 
 impl Job {
@@ -169,6 +186,7 @@ impl Job {
             instructions,
             seed: 0,
             seed_policy: SeedPolicy::Config,
+            telemetry: None,
         };
         job.seed = job.derive_seed();
         job
@@ -177,6 +195,15 @@ impl Job {
     /// Returns a copy running under [`SeedPolicy::Derived`].
     pub fn with_derived_seed(mut self) -> Self {
         self.seed_policy = SeedPolicy::Derived;
+        self
+    }
+
+    /// Returns a copy that collects a windowed timeline with the given window length
+    /// (see [`TelemetrySpec`]; the seed is untouched on purpose).
+    pub fn with_telemetry(mut self, window_instructions: u64) -> Self {
+        self.telemetry = Some(TelemetrySpec {
+            window_instructions,
+        });
         self
     }
 
@@ -219,6 +246,9 @@ impl Job {
     /// Builds the fully-configured single-core simulator for this job.
     fn single_core_sim(&self, coordinator: Box<dyn athena_sim::Coordinator>) -> Simulator {
         let mut sim = Simulator::new(self.config.sim.clone());
+        if self.telemetry.is_some() {
+            sim = sim.with_agent_telemetry();
+        }
         for p in &self.config.prefetchers {
             sim = sim.with_prefetcher(p.build());
         }
@@ -226,6 +256,13 @@ impl Job {
             sim = sim.with_ocp(ocp.build());
         }
         sim.with_coordinator(coordinator)
+    }
+
+    /// Windows a finished single-core run into its timeline, if this job asked for one.
+    fn timeline_of(&self, result: &SimResult) -> Option<Timeline> {
+        self.telemetry.map(|t| {
+            Timeline::from_epochs(t.window_instructions, &result.epochs, &result.agent_epochs)
+        })
     }
 
     /// Runs the cell to completion and returns its result.
@@ -250,7 +287,8 @@ impl Job {
             WorkloadRef::Single(spec) => {
                 let mut sim = self.single_core_sim(coordinator());
                 let result = sim.run(spec.trace(), self.instructions);
-                JobOutput::Single(Box::new(RunResult::from_sim(&spec.name, result)))
+                let timeline = self.timeline_of(&result);
+                JobOutput::Single(Box::new(RunResult::from_sim(&spec.name, result, timeline)))
             }
             WorkloadRef::File(file) => {
                 let trace = open_trace(&file.path).unwrap_or_else(|e| {
@@ -276,11 +314,17 @@ impl Job {
                 };
                 let mut sim = self.single_core_sim(coordinator());
                 let result = sim.run(guarded, self.instructions);
-                JobOutput::Single(Box::new(RunResult::from_sim(&file.name, result)))
+                let timeline = self.timeline_of(&result);
+                JobOutput::Single(Box::new(RunResult::from_sim(&file.name, result, timeline)))
             }
             WorkloadRef::Multi(mix) => {
                 let cores = mix.workloads.len();
                 let mut mc = MultiCoreSimulator::new(self.config.sim.clone(), cores);
+                if self.telemetry.is_some() {
+                    // Multi-core cells collect per-core agent snapshots; their per-core
+                    // timelines are derived by the caller from each core's SimResult.
+                    mc = mc.with_agent_telemetry();
+                }
                 for spec in &mix.workloads {
                     let prefetchers: Vec<Box<dyn Prefetcher>> =
                         self.config.prefetchers.iter().map(|p| p.build()).collect();
@@ -355,10 +399,13 @@ pub struct RunResult {
     pub stats: athena_sim::SimStats,
     /// Per-epoch telemetry (kept for phase-level analyses).
     pub epochs: Vec<athena_sim::EpochStats>,
+    /// The windowed time series, present when the job requested telemetry
+    /// ([`Job::with_telemetry`]).
+    pub timeline: Option<Timeline>,
 }
 
 impl RunResult {
-    fn from_sim(workload: &str, r: SimResult) -> Self {
+    fn from_sim(workload: &str, r: SimResult, timeline: Option<Timeline>) -> Self {
         Self {
             workload: workload.to_string(),
             instructions: r.instructions,
@@ -366,6 +413,7 @@ impl RunResult {
             ipc: r.ipc(),
             stats: r.stats,
             epochs: r.epochs,
+            timeline,
         }
     }
 }
@@ -573,6 +621,37 @@ mod tests {
         assert!(cells[0].output.is_ok(), "healthy cell completes");
         let err = cells[1].output.as_ref().expect_err("missing trace fails");
         assert!(err.contains("cannot replay trace"), "got: {err}");
+    }
+
+    #[test]
+    fn telemetry_is_opt_in_and_never_changes_results() {
+        let spec = all_workloads()[0].clone();
+        let plain = Job::single("t", spec.clone(), cd1(), CoordinatorKind::Athena, 15_000);
+        let observed = plain.clone().with_telemetry(4096);
+        // Observation is not identity: the seed (and thus the simulated behaviour) is
+        // untouched.
+        assert_eq!(plain.seed, observed.seed);
+        let plain_run = match plain.run() {
+            JobOutput::Single(r) => *r,
+            _ => panic!("single cell"),
+        };
+        let observed_run = match observed.run() {
+            JobOutput::Single(r) => *r,
+            _ => panic!("single cell"),
+        };
+        assert!(plain_run.timeline.is_none(), "telemetry is off by default");
+        let timeline = observed_run.timeline.clone().expect("requested timeline");
+        assert!(!timeline.windows.is_empty());
+        // Identical simulation either way.
+        assert_eq!(plain_run.stats, observed_run.stats);
+        assert_eq!(plain_run.epochs, observed_run.epochs);
+        // The windows compose exactly back into the aggregates.
+        let totals = timeline.totals();
+        assert_eq!(totals.instructions, observed_run.stats.instructions);
+        assert_eq!(totals.cycles, observed_run.stats.cycles);
+        assert_eq!(totals.llc_misses, observed_run.stats.llc_misses);
+        // Athena is a learning coordinator, so windows carry agent snapshots.
+        assert!(timeline.windows.iter().all(|w| w.agent.is_some()));
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod seed;
 pub use exec::{CellResult, Engine};
 pub use job::{
     simulate, simulate_multicore, FileWorkload, Job, JobCell, JobOutput, RunResult, SeedPolicy,
-    WorkloadRef,
+    TelemetrySpec, WorkloadRef,
 };
 pub use kinds::{default_athena_config, CoordinatorKind, OcpKind, PrefetcherKind, SystemConfig};
 pub use pool::available_parallelism;

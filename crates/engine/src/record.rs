@@ -10,8 +10,12 @@
 use std::cell::RefCell;
 use std::time::Duration;
 
+use athena_telemetry::Timeline;
+
 use crate::exec::CellResult;
+use crate::job::JobOutput;
 use crate::json::Json;
+use crate::report::timeline_json;
 
 thread_local! {
     static RECORDER: RefCell<Option<Vec<CellRecord>>> = const { RefCell::new(None) };
@@ -30,10 +34,15 @@ pub struct CellRecord {
     pub wall: Duration,
     /// The panic message, if the cell failed.
     pub error: Option<String>,
+    /// The cell's windowed time series, when its job requested telemetry (single-core
+    /// cells only; `None` otherwise).
+    pub timeline: Option<Timeline>,
 }
 
 impl CellRecord {
-    /// Serialises the record for the per-figure JSON reports.
+    /// Serialises the record for the per-figure JSON reports. A collected timeline is
+    /// embedded in full, so `--timeline`-style runs carry their series through the same
+    /// report pipeline as everything else.
     pub fn to_json(&self) -> Json {
         let mut pairs = vec![
             ("label", Json::str(&self.label)),
@@ -43,6 +52,9 @@ impl CellRecord {
         ];
         if let Some(e) = &self.error {
             pairs.push(("error", Json::str(e)));
+        }
+        if let Some(t) = &self.timeline {
+            pairs.push(("timeline", timeline_json(t)));
         }
         Json::obj(pairs)
     }
@@ -96,6 +108,10 @@ pub(crate) fn record_cells(cells: &[CellResult]) {
                 seed: c.seed,
                 wall: c.wall,
                 error: c.output.as_ref().err().cloned(),
+                timeline: match &c.output {
+                    Ok(JobOutput::Single(r)) => r.timeline.clone(),
+                    _ => None,
+                },
             }));
         }
     });
@@ -128,6 +144,19 @@ mod tests {
         assert_eq!(cells[0].experiment, "rec-test");
         assert!(cells[0].error.is_none());
         assert!(cells[0].to_json().to_string().contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn recording_scope_captures_timelines_of_telemetry_jobs() {
+        let ((), cells) = with_recording(|| {
+            Engine::new(1).run(vec![one_job().with_telemetry(2048), one_job()]);
+        });
+        let timeline = cells[0].timeline.as_ref().expect("telemetry cell");
+        assert!(!timeline.windows.is_empty());
+        assert!(cells[1].timeline.is_none());
+        let json = cells[0].to_json().to_string();
+        assert!(json.contains("\"timeline\""));
+        assert!(json.contains("\"window_instructions\":2048"));
     }
 
     #[test]

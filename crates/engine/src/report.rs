@@ -1,7 +1,9 @@
-//! Machine-readable report writers: per-figure JSON results and the `BENCH_engine.json`
-//! performance snapshot.
+//! Machine-readable report writers: per-figure JSON results, windowed-timeline documents
+//! and the `BENCH_engine.json` performance snapshot.
 
 use std::time::Duration;
+
+use athena_telemetry::{Timeline, WindowMetrics};
 
 use crate::json::Json;
 use crate::record::CellRecord;
@@ -31,6 +33,96 @@ pub fn figure_report(
             "cells",
             Json::arr(cells.iter().map(CellRecord::to_json).collect()),
         ),
+    ])
+}
+
+fn metrics_json(m: &WindowMetrics) -> Json {
+    Json::obj(vec![
+        ("ipc", Json::num(m.ipc)),
+        ("l1d_mpki", Json::num(m.l1d_mpki)),
+        ("llc_mpki", Json::num(m.llc_mpki)),
+        ("prefetch_accuracy", Json::num(m.prefetch_accuracy)),
+        ("prefetch_coverage", Json::num(m.prefetch_coverage)),
+        ("prefetch_timeliness", Json::num(m.prefetch_timeliness)),
+        ("ocp_precision", Json::num(m.ocp_precision)),
+        ("ocp_recall", Json::num(m.ocp_recall)),
+    ])
+}
+
+/// Serialises a windowed timeline: one object per window with the raw counters, the
+/// derived per-window metrics and — when sampled — the agent internals (Q-value summary,
+/// exploration rate, per-window action counts), plus the early-vs-late learning curve.
+pub fn timeline_json(t: &Timeline) -> Json {
+    let deltas = t.action_deltas();
+    let windows = t
+        .windows
+        .iter()
+        .zip(deltas)
+        .map(|(w, delta)| {
+            let s = &w.stats;
+            let mut pairs = vec![
+                ("index", Json::num(w.index as f64)),
+                ("start_instruction", Json::num(w.start_instruction as f64)),
+                ("epochs", Json::num(w.epochs as f64)),
+                ("instructions", Json::num(s.instructions as f64)),
+                ("cycles", Json::num(s.cycles as f64)),
+                ("prefetches_issued", Json::num(s.prefetches_issued as f64)),
+                ("prefetches_useful", Json::num(s.prefetches_useful as f64)),
+                ("prefetches_late", Json::num(s.prefetches_late as f64)),
+                ("ocp_predictions", Json::num(s.ocp_predictions as f64)),
+                ("ocp_correct", Json::num(s.ocp_correct as f64)),
+                ("loads_off_chip", Json::num(s.loads_off_chip as f64)),
+                ("metrics", metrics_json(&WindowMetrics::from_stats(s))),
+                ("bandwidth_usage", Json::num(s.bandwidth_usage())),
+            ];
+            if let (Some(a), Some(d)) = (&w.agent, delta) {
+                pairs.push((
+                    "agent",
+                    Json::obj(vec![
+                        ("q_mean", Json::num(a.q_mean)),
+                        ("q_min", Json::num(a.q_min)),
+                        ("q_max", Json::num(a.q_max)),
+                        ("epsilon", Json::num(a.epsilon)),
+                        ("updates", Json::num(a.updates as f64)),
+                        (
+                            "actions",
+                            Json::arr(d.iter().map(|&c| Json::num(c as f64)).collect()),
+                        ),
+                    ]),
+                ));
+            }
+            Json::obj(pairs)
+        })
+        .collect();
+    let mut pairs = vec![
+        (
+            "window_instructions",
+            Json::num(t.window_instructions as f64),
+        ),
+        ("windows", Json::arr(windows)),
+    ];
+    if let Some(curve) = t.learning_curve() {
+        pairs.push((
+            "learning_curve",
+            Json::obj(vec![
+                ("windows_per_side", Json::num(curve.windows_per_side as f64)),
+                ("early", metrics_json(&curve.early)),
+                ("late", metrics_json(&curve.late)),
+            ]),
+        ));
+    }
+    Json::obj(pairs)
+}
+
+/// Builds the standalone JSON document for one cell's timeline (the `figures --timeline`
+/// per-cell files).
+pub fn timeline_report(workload: &str, coordinator: &str, seed: u64, t: &Timeline) -> Json {
+    Json::obj(vec![
+        ("schema", Json::str("athena-timeline-v1")),
+        ("workload", Json::str(workload)),
+        ("coordinator", Json::str(coordinator)),
+        ("seed", Json::hex(seed)),
+        ("timeline", timeline_json(t)),
     ])
 }
 
@@ -222,6 +314,7 @@ mod tests {
             seed: 7,
             wall: Duration::from_millis(3),
             error: None,
+            timeline: None,
         }];
         let text = figure_report("fig7", 2, Duration::from_millis(5), &table, &cells).to_string();
         assert!(text.contains("athena-figure-result-v1"));

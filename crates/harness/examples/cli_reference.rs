@@ -1,0 +1,12 @@
+//! Prints the generated `docs/CLI.md` to stdout.
+//!
+//! ```sh
+//! cargo run --release -p athena-harness --example cli_reference > docs/CLI.md
+//! ```
+//!
+//! CI runs this and diffs the output against the committed `docs/CLI.md`, so the CLI
+//! reference cannot drift from the binaries' actual `--help` text.
+
+fn main() {
+    print!("{}", athena_harness::cli::cli_reference());
+}

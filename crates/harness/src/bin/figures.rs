@@ -7,58 +7,29 @@
 //! cargo run --release -p athena-harness --bin figures -- --all --quick --json --out results/
 //! cargo run --release -p athena-harness --bin figures -- --all --quick --bench-report
 //! cargo run --release -p athena-harness --bin figures -- --fig fig7 --trace-dir traces/
+//! cargo run --release -p athena-harness --bin figures -- --timeline --quick --out results/
 //! ```
 //!
-//! Run `figures --help` for the full flag reference. `--jobs N` sets the engine worker
-//! count (default: every hardware thread); `--jobs 1` is the exact serial path and
-//! produces byte-identical tables. `--json` writes one machine-readable result file per
-//! experiment (aggregate table + per-cell records). `--bench-report` times every selected
-//! experiment at `--jobs 1` and at the parallel worker count, verifies the tables match
-//! byte-for-byte, and writes the `BENCH_engine.json` performance snapshot. `--trace-dir`
-//! replays recorded traces (written by the `trace` CLI) in place of in-process generation.
+//! Run `figures --help` for the full flag reference (also rendered into `docs/CLI.md`).
+//! `--jobs N` sets the engine worker count (default: every hardware thread); `--jobs 1`
+//! is the exact serial path and produces byte-identical tables. `--json` writes one
+//! machine-readable result file per experiment (aggregate table + per-cell records).
+//! `--bench-report` times every selected experiment at `--jobs 1` and at the parallel
+//! worker count, verifies the tables match byte-for-byte, and writes the
+//! `BENCH_engine.json` performance snapshot. `--trace-dir` replays recorded traces
+//! (written by the `trace` CLI) in place of in-process generation. `--timeline` runs the
+//! windowed-telemetry study (per-cell time series + learning-curve table).
 
 use std::path::PathBuf;
 use std::time::Instant;
 
-use athena_engine::report::{figure_report, BenchReport, ExperimentBench};
+use athena_engine::report::{figure_report, timeline_report, BenchReport, ExperimentBench};
 use athena_engine::{available_parallelism, with_recording};
+use athena_harness::cli::FIGURES_HELP as HELP;
 use athena_harness::experiments::{experiment_names, run_experiment};
+use athena_harness::timeline::timeline_study;
 use athena_harness::RunOptions;
-
-const HELP: &str = "\
-figures — reproduce the Athena paper's tables and figures
-
-usage: figures [--fig <id>]... [--all] [options]
-
-experiment selection:
-  --fig <id>          run one experiment (repeatable); ids are fig1..fig21, tab3, tab4
-  --all               run every experiment
-  --list              print the experiment ids and exit
-
-run options:
-  --quick             reduced preset: 40 K instructions, 12 workloads (default preset is
-                      400 K instructions over all 100 workloads)
-  --instructions <N>  instructions simulated per workload (overrides the preset)
-  --workloads <N>     cap the workload count, keeping a balanced friendly/adverse mix
-  --jobs <N>          engine worker count (default: every hardware thread); --jobs 1 is
-                      the exact serial path; tables are byte-identical at any value
-  --trace-dir <DIR>   replay recorded traces from DIR (written by `trace record`):
-                      single-core cells with a <workload>.trace file there replay it,
-                      reproducing the generated results byte-for-byte; others generate
-
-output:
-  --out <DIR>         write one <fig>.csv per experiment into DIR (and relocate the other
-                      output files below)
-  --json              also write one <fig>.json per experiment (aggregate table plus
-                      per-cell records: label, derived seed, wall-clock, outcome) into
-                      --out DIR or results/
-  --bench-report      instead of printing tables: time every selected experiment at
-                      --jobs 1 vs the parallel worker count, verify both tables match
-                      byte-for-byte, and write the BENCH_engine.json snapshot
-
-misc:
-  --version           print the workspace version and exit
-  --help, -h          print this help and exit";
+use athena_telemetry::DEFAULT_WINDOW_INSTRUCTIONS;
 
 struct Args {
     figs: Vec<String>,
@@ -66,6 +37,9 @@ struct Args {
     out_dir: Option<PathBuf>,
     json: bool,
     bench_report: bool,
+    timeline: bool,
+    /// Telemetry window length for `--timeline` (the `--window` flag).
+    window: u64,
     /// The parallel worker count used by `--bench-report` (the `--jobs` flag, or every
     /// hardware thread when the flag is absent).
     parallel_jobs: usize,
@@ -82,6 +56,8 @@ fn parse_args() -> Result<Args, String> {
     let mut out_dir = None;
     let mut json = false;
     let mut bench_report = false;
+    let mut timeline = false;
+    let mut window: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -91,6 +67,18 @@ fn parse_args() -> Result<Args, String> {
             "--quick" => quick = true,
             "--json" => json = true,
             "--bench-report" => bench_report = true,
+            "--timeline" => timeline = true,
+            "--window" => {
+                let n: u64 = args
+                    .next()
+                    .ok_or("--window needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --window: {e}"))?;
+                if n == 0 {
+                    return Err("--window must be at least 1 instruction".to_string());
+                }
+                window = Some(n);
+            }
             "--instructions" => {
                 instructions = Some(
                     args.next()
@@ -147,11 +135,23 @@ fn parse_args() -> Result<Args, String> {
                 .to_string(),
         );
     }
+    if timeline && (bench_report || all || !figs.is_empty() || json) {
+        return Err(
+            "--timeline is a standalone mode and always writes CSV+JSON; \
+                    drop --fig/--all/--json/--bench-report"
+                .to_string(),
+        );
+    }
+    if window.is_some() && !timeline {
+        return Err("--window only applies to --timeline".to_string());
+    }
     if all {
         figs = experiment_names().iter().map(|s| s.to_string()).collect();
     }
-    if figs.is_empty() {
-        return Err("no experiment selected; use --fig <id> or --all (see --list)".to_string());
+    if figs.is_empty() && !timeline {
+        return Err(
+            "no experiment selected; use --fig <id>, --all (see --list) or --timeline".to_string(),
+        );
     }
     let mut opts = if quick {
         RunOptions::quick()
@@ -173,6 +173,8 @@ fn parse_args() -> Result<Args, String> {
         out_dir,
         json,
         bench_report,
+        timeline,
+        window: window.unwrap_or(DEFAULT_WINDOW_INSTRUCTIONS),
         parallel_jobs,
     })
 }
@@ -250,6 +252,34 @@ fn run_bench_report(args: &Args) {
     write_file(&path, &report.to_json().to_pretty());
 }
 
+/// `--timeline`: the windowed-telemetry study. Prints the learning-curve table and writes
+/// one time-series CSV + JSON per (workload × policy) cell, plus `learning_curve.csv`,
+/// into `<out|results>/timeline/`.
+fn run_timeline(args: &Args) {
+    let start = Instant::now();
+    let study = timeline_study(&args.opts, args.window);
+    let elapsed = start.elapsed();
+    println!("{}", study.curves);
+    println!(
+        "[timeline completed in {elapsed:.1?} with {} jobs: {} cells, {}-instruction windows]\n",
+        args.opts.jobs,
+        study.cells.len(),
+        study.window_instructions
+    );
+    let dir = args
+        .out_dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("results"))
+        .join("timeline");
+    write_file(&dir.join("learning_curve.csv"), &study.curves.to_csv());
+    for cell in &study.cells {
+        let stem = format!("{}.{}.timeline", cell.workload, cell.coordinator);
+        write_file(&dir.join(format!("{stem}.csv")), &cell.timeline.to_csv());
+        let doc = timeline_report(&cell.workload, &cell.coordinator, cell.seed, &cell.timeline);
+        write_file(&dir.join(format!("{stem}.json")), &doc.to_pretty());
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -260,6 +290,10 @@ fn main() {
     };
     if args.bench_report {
         run_bench_report(&args);
+        return;
+    }
+    if args.timeline {
+        run_timeline(&args);
         return;
     }
     // `--json` without an explicit directory lands next to the CSVs or in `results/`.

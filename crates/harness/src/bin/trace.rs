@@ -21,55 +21,13 @@
 
 use std::path::{Path, PathBuf};
 
+use athena_harness::cli::TRACE_HELP as HELP;
 use athena_harness::experiments::{standard_mixes, workload_set};
 use athena_harness::RunOptions;
 use athena_trace_io::{convert, open_trace, record_trace, sniff_format, TraceFormat, TraceSummary};
 use athena_workloads::{
     all_workloads, find_workload, google_like_workloads, tuning_workloads, WorkloadSpec,
 };
-
-const HELP: &str = "\
-trace — record, inspect and convert on-disk workload traces
-
-usage: trace <command> [options]
-
-commands:
-  record     dump workload traces to files (one <workload-name>.trace per workload)
-  info       print the header of trace files
-  stats      stream trace files and print instruction-mix / footprint / miss-profile
-             summaries
-  convert    losslessly convert a trace between the binary and text formats
-
-record options:
-  --out <DIR>          output directory (created if missing; default: traces/)
-  --workload <NAME>    record one workload by name (repeatable; resolves against the
-                       evaluation, tuning and Google-like suites)
-  --quick              record the quick experiment preset's workload sample, at the quick
-                       preset's instruction count — the set `figures --quick --trace-dir`
-                       replays
-  --all                record all 100 evaluation workloads
-  --tuning             record the 20 held-out tuning workloads
-  --google             record the Google-like unseen workloads
-  --mixes <CORES>      record the distinct workloads of the standard CORES-core mix list
-                       (what fig15/fig16 draw from), so multi-core studies can be
-                       re-recorded from the same files
-  --instructions <N>   records per trace (default: 400000, the full experiment preset;
-                       --quick lowers it to the quick preset unless overridden)
-  --text               write the text format instead of binary
-
-info / stats:
-  trace info <FILE>...
-  trace stats <FILE>... [--limit <N>]    (--limit caps the records scanned per file)
-
-convert:
-  trace convert <IN> <OUT> [--to binary|text]
-                       input format is sniffed from the file contents; output format
-                       follows --to, defaulting to the OUT extension (*.txt → text,
-                       anything else → binary)
-
-misc:
-  --version            print the workspace version and exit
-  --help, -h           print this help and exit";
 
 fn fail(message: impl std::fmt::Display) -> ! {
     eprintln!("error: {message}");

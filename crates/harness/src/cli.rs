@@ -1,0 +1,132 @@
+//! The help text of the harness binaries, and the generator for `docs/CLI.md`.
+//!
+//! Both CLIs print these constants for `--help`; the `cli_reference` example renders them
+//! into `docs/CLI.md`, and CI regenerates that file and fails on any drift — so the
+//! committed CLI reference can never disagree with what the binaries actually say. To
+//! change a flag's documentation, edit the constant here and re-run
+//! `cargo run --release -p athena-harness --example cli_reference > docs/CLI.md`.
+
+/// `figures --help`.
+pub const FIGURES_HELP: &str = "\
+figures — reproduce the Athena paper's tables and figures
+
+usage: figures [--fig <id>]... [--all] [options]
+       figures --timeline [options]
+
+experiment selection:
+  --fig <id>          run one experiment (repeatable); ids are fig1..fig21, tab3, tab4
+  --all               run every experiment
+  --list              print the experiment ids and exit
+
+run options:
+  --quick             reduced preset: 40 K instructions, 12 workloads (default preset is
+                      400 K instructions over all 100 workloads)
+  --instructions <N>  instructions simulated per workload (overrides the preset)
+  --workloads <N>     cap the workload count, keeping a balanced friendly/adverse mix
+  --jobs <N>          engine worker count (default: every hardware thread); --jobs 1 is
+                      the exact serial path; tables are byte-identical at any value
+  --trace-dir <DIR>   replay recorded traces from DIR (written by `trace record`):
+                      single-core cells with a <workload>.trace file there replay it,
+                      reproducing the generated results byte-for-byte; others generate
+
+output:
+  --out <DIR>         write one <fig>.csv per experiment into DIR (and relocate the other
+                      output files below)
+  --json              also write one <fig>.json per experiment (aggregate table plus
+                      per-cell records: label, derived seed, wall-clock, outcome) into
+                      --out DIR or results/
+  --bench-report      instead of printing tables: time every selected experiment at
+                      --jobs 1 vs the parallel worker count, verify both tables match
+                      byte-for-byte, and write the BENCH_engine.json snapshot
+
+timeline mode:
+  --timeline          standalone mode (no --fig/--all): run every selected workload under
+                      each online coordination policy with windowed telemetry enabled,
+                      print the early-vs-late learning-curve table, and write per-cell
+                      time-series files (<workload>.<policy>.timeline.csv/.json) plus
+                      learning_curve.csv into <--out DIR or results>/timeline/. Series
+                      are byte-identical at any --jobs value and under --trace-dir replay
+  --window <N>        telemetry window length in instructions (default 8192; windows
+                      round up to whole 2 K-instruction coordination epochs)
+
+misc:
+  --version           print the workspace version and exit
+  --help, -h          print this help and exit";
+
+/// `trace --help`.
+pub const TRACE_HELP: &str = "\
+trace — record, inspect and convert on-disk workload traces
+
+usage: trace <command> [options]
+
+commands:
+  record     dump workload traces to files (one <workload-name>.trace per workload)
+  info       print the header of trace files
+  stats      stream trace files and print instruction-mix / footprint / miss-profile
+             summaries
+  convert    losslessly convert a trace between the binary and text formats
+
+record options:
+  --out <DIR>          output directory (created if missing; default: traces/)
+  --workload <NAME>    record one workload by name (repeatable; resolves against the
+                       evaluation, tuning and Google-like suites)
+  --quick              record the quick experiment preset's workload sample, at the quick
+                       preset's instruction count — the set `figures --quick --trace-dir`
+                       replays
+  --all                record all 100 evaluation workloads
+  --tuning             record the 20 held-out tuning workloads
+  --google             record the Google-like unseen workloads
+  --mixes <CORES>      record the distinct workloads of the standard CORES-core mix list
+                       (what fig15/fig16 draw from), so multi-core studies can be
+                       re-recorded from the same files
+  --instructions <N>   records per trace (default: 400000, the full experiment preset;
+                       --quick lowers it to the quick preset unless overridden)
+  --text               write the text format instead of binary
+
+info / stats:
+  trace info <FILE>...
+  trace stats <FILE>... [--limit <N>]    (--limit caps the records scanned per file)
+
+convert:
+  trace convert <IN> <OUT> [--to binary|text]
+                       input format is sniffed from the file contents; output format
+                       follows --to, defaulting to the OUT extension (*.txt → text,
+                       anything else → binary)
+
+misc:
+  --version            print the workspace version and exit
+  --help, -h           print this help and exit";
+
+/// Renders `docs/CLI.md` from the help constants above.
+pub fn cli_reference() -> String {
+    format!(
+        "# CLI reference\n\n\
+         This file is generated from the binaries' `--help` text by\n\
+         `cargo run --release -p athena-harness --example cli_reference`; CI regenerates\n\
+         it and fails if the committed copy drifts. Edit\n\
+         `crates/harness/src/cli.rs`, not this file.\n\n\
+         ## `figures`\n\n```text\n{FIGURES_HELP}\n```\n\n\
+         ## `trace`\n\n```text\n{TRACE_HELP}\n```\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_embeds_both_help_texts() {
+        let doc = cli_reference();
+        assert!(doc.contains(FIGURES_HELP));
+        assert!(doc.contains(TRACE_HELP));
+        assert!(doc.starts_with("# CLI reference"));
+        assert!(doc.ends_with("```\n"));
+    }
+
+    #[test]
+    fn help_texts_document_the_timeline_mode() {
+        assert!(FIGURES_HELP.contains("--timeline"));
+        assert!(FIGURES_HELP.contains("--window"));
+        assert!(TRACE_HELP.contains("record"));
+    }
+}

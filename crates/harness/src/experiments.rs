@@ -73,7 +73,8 @@ pub fn workload_set(opts: &RunOptions) -> Vec<WorkloadSpec> {
 /// options name a trace directory containing `<workload-name>.trace`, the cell replays
 /// that recorded file (same workload name, so same derived seed and label as the
 /// generated cell); otherwise the cell generates its trace in-process as before.
-fn cell_job(
+/// (Shared with the `timeline` study, which builds the same cells plus telemetry.)
+pub(crate) fn cell_job(
     experiment: &str,
     spec: &WorkloadSpec,
     config: &SystemConfig,

@@ -33,8 +33,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod experiments;
 mod run;
+pub mod timeline;
 
 pub use athena_engine::ExperimentTable;
 pub use run::{

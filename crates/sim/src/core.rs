@@ -16,7 +16,7 @@ use crate::config::SimConfig;
 use crate::hierarchy::MemoryHierarchy;
 use crate::stats::{EpochStats, SimStats};
 use crate::trace::{InstrKind, TraceRecord, TraceSource};
-use crate::traits::{Coordinator, OffChipPredictor, Prefetcher};
+use crate::traits::{Coordinator, CoordinatorTelemetry, OffChipPredictor, Prefetcher};
 
 /// The result of a single-core simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +30,13 @@ pub struct SimResult {
     /// Telemetry of every epoch, in order. Useful for phase-level analysis and the
     /// case-study experiments.
     pub epochs: Vec<EpochStats>,
+    /// Per-epoch snapshots of the coordinator's learning internals, positionally aligned
+    /// with `epochs`: entry *i* is the snapshot taken when epoch *i* closed, `None` when
+    /// the coordinator reported none for that epoch (a policy may legitimately warm up
+    /// before it has internals worth sampling). Empty unless agent telemetry was enabled
+    /// ([`Simulator::with_agent_telemetry`] / [`CoreEngine::enable_agent_telemetry`]) —
+    /// sampling reads the whole QVStore once per epoch, so it is strictly opt-in.
+    pub agent_epochs: Vec<Option<CoordinatorTelemetry>>,
 }
 
 impl SimResult {
@@ -72,6 +79,8 @@ pub struct CoreEngine {
     branch_predictor: GsharePredictor,
     stats: SimStats,
     epochs: Vec<EpochStats>,
+    collect_agent_telemetry: bool,
+    agent_epochs: Vec<Option<CoordinatorTelemetry>>,
 }
 
 impl CoreEngine {
@@ -99,7 +108,16 @@ impl CoreEngine {
             branch_predictor: GsharePredictor::default_sized(),
             stats: SimStats::default(),
             epochs: Vec::new(),
+            collect_agent_telemetry: false,
+            agent_epochs: Vec::new(),
         }
+    }
+
+    /// Enables per-epoch coordinator snapshots (see [`SimResult::agent_epochs`]). Disabled
+    /// by default: the snapshot walks the agent's value store, and runs that do not ask for
+    /// a timeline must not pay for one.
+    pub fn enable_agent_telemetry(&mut self) {
+        self.collect_agent_telemetry = true;
     }
 
     /// Instructions retired so far.
@@ -196,6 +214,13 @@ impl CoreEngine {
         let e = hierarchy.end_epoch(&core_side);
         self.stats.absorb_epoch(&e);
         self.epochs.push(e);
+        if self.collect_agent_telemetry {
+            // Sampled after end_epoch, so the snapshot includes this epoch's SARSA update
+            // and the action just chosen for the next epoch. One entry is pushed per
+            // epoch — `None` included — so the vector stays positionally aligned with
+            // `epochs` even for a policy that only reports telemetry intermittently.
+            self.agent_epochs.push(hierarchy.coordinator_telemetry());
+        }
         self.epoch_index += 1;
         self.epoch_start_cycle = self.last_retire;
         self.epoch_start_instr = self.retired;
@@ -215,6 +240,7 @@ impl CoreEngine {
             cycles: self.last_retire,
             stats: self.stats,
             epochs: self.epochs,
+            agent_epochs: self.agent_epochs,
         }
     }
 }
@@ -225,13 +251,26 @@ impl CoreEngine {
 pub struct Simulator {
     config: SimConfig,
     hierarchy: MemoryHierarchy,
+    agent_telemetry: bool,
 }
 
 impl Simulator {
     /// Creates a simulator with no prefetchers, no OCP and no coordinator attached.
     pub fn new(config: SimConfig) -> Self {
         let hierarchy = MemoryHierarchy::new(config.clone());
-        Self { config, hierarchy }
+        Self {
+            config,
+            hierarchy,
+            agent_telemetry: false,
+        }
+    }
+
+    /// Enables per-epoch coordinator snapshots in the results of subsequent runs (builder
+    /// style; see [`SimResult::agent_epochs`]). Off by default — the disabled path costs
+    /// nothing.
+    pub fn with_agent_telemetry(mut self) -> Self {
+        self.agent_telemetry = true;
+        self
     }
 
     /// Attaches a data prefetcher (builder style).
@@ -261,6 +300,9 @@ impl Simulator {
     /// Runs the simulation for at most `max_instructions` instructions from `trace`.
     pub fn run<T: TraceSource>(&mut self, mut trace: T, max_instructions: u64) -> SimResult {
         let mut engine = CoreEngine::new(&self.config);
+        if self.agent_telemetry {
+            engine.enable_agent_telemetry();
+        }
         while engine.retired() < max_instructions {
             let Some(record) = trace.next_record() else {
                 break;

@@ -136,6 +136,13 @@ impl MemoryHierarchy {
         self.coordinator.as_ref().map(|c| c.name())
     }
 
+    /// Snapshot of the attached coordinator's learning internals (`None` when no
+    /// coordinator is attached or the policy has none). Called by the core loop only when
+    /// agent telemetry was explicitly enabled, so it is off the ordinary hot path.
+    pub fn coordinator_telemetry(&self) -> Option<crate::traits::CoordinatorTelemetry> {
+        self.coordinator.as_ref().and_then(|c| c.telemetry())
+    }
+
     /// Descriptions of the attached prefetchers (for coordinators).
     pub fn prefetcher_infos(&self) -> Vec<crate::traits::PrefetcherInfo> {
         self.prefetchers.iter().map(|p| p.info()).collect()
@@ -217,7 +224,7 @@ impl MemoryHierarchy {
 
         // --- L1D ---
         let l1 = self.l1d.lookup(addr, pc);
-        self.feedback_prefetch_use(CacheLevel::L1d, line, &l1);
+        self.feedback_prefetch_use(CacheLevel::L1d, line, &l1, cycle);
         self.trigger_prefetchers(CacheLevel::L1d, pc, addr, cycle, &l1, false);
         let l1_latency = self.l1d.latency();
         if let LookupOutcome::Hit { ready_cycle, .. } = l1 {
@@ -232,7 +239,7 @@ impl MemoryHierarchy {
         // --- L2C ---
         let l2_lookup_cycle = cycle + l1_latency;
         let l2 = self.l2c.lookup(addr, pc);
-        self.feedback_prefetch_use(CacheLevel::L2c, line, &l2);
+        self.feedback_prefetch_use(CacheLevel::L2c, line, &l2, l2_lookup_cycle);
         self.trigger_prefetchers(CacheLevel::L2c, pc, addr, l2_lookup_cycle, &l2, false);
         let l2_latency = self.l2c.latency();
         if let LookupOutcome::Hit { ready_cycle, .. } = l2 {
@@ -249,7 +256,7 @@ impl MemoryHierarchy {
         // --- LLC ---
         let llc_lookup_cycle = l2_lookup_cycle + l2_latency;
         let llc = self.llc.lookup(addr, pc);
-        self.feedback_prefetch_use(CacheLevel::Llc, line, &llc);
+        self.feedback_prefetch_use(CacheLevel::Llc, line, &llc, llc_lookup_cycle);
         let llc_latency = self.llc.latency();
         if let LookupOutcome::Hit { ready_cycle, .. } = llc {
             let completion = (llc_lookup_cycle + llc_latency).max(ready_cycle);
@@ -264,6 +271,7 @@ impl MemoryHierarchy {
 
         // --- Off-chip ---
         self.epoch.llc_misses += 1;
+        self.epoch.loads_off_chip += 1;
         if self.pollution_victims.remove(&line) {
             self.epoch.pollution_misses += 1;
         }
@@ -323,7 +331,7 @@ impl MemoryHierarchy {
         let line = line_of(addr);
 
         let l1 = self.l1d.lookup(addr, pc);
-        self.feedback_prefetch_use(CacheLevel::L1d, line, &l1);
+        self.feedback_prefetch_use(CacheLevel::L1d, line, &l1, cycle);
         self.trigger_prefetchers(CacheLevel::L1d, pc, addr, cycle, &l1, true);
         if l1.is_hit() {
             self.l1d.mark_dirty(addr);
@@ -331,8 +339,12 @@ impl MemoryHierarchy {
         }
         self.epoch.l1d_misses += 1;
 
+        // Stores never stall the core, but the lateness accounting still references the
+        // cycle a demand would reach each level — mirroring the load path — so a
+        // prefetch's timeliness is judged identically for loads and stores.
         let l2 = self.l2c.lookup(addr, pc);
-        self.feedback_prefetch_use(CacheLevel::L2c, line, &l2);
+        let l2_lookup_cycle = cycle + self.l1d.latency();
+        self.feedback_prefetch_use(CacheLevel::L2c, line, &l2, l2_lookup_cycle);
         self.trigger_prefetchers(CacheLevel::L2c, pc, addr, cycle, &l2, true);
         if l2.is_hit() {
             self.fill_level(CacheLevel::L1d, line, false, pc, cycle);
@@ -342,7 +354,8 @@ impl MemoryHierarchy {
         self.epoch.l2c_misses += 1;
 
         let llc = self.llc.lookup(addr, pc);
-        self.feedback_prefetch_use(CacheLevel::Llc, line, &llc);
+        let llc_lookup_cycle = l2_lookup_cycle + self.l2c.latency();
+        self.feedback_prefetch_use(CacheLevel::Llc, line, &llc, llc_lookup_cycle);
         if llc.is_hit() {
             self.fill_level(CacheLevel::L2c, line, false, pc, cycle);
             self.fill_level(CacheLevel::L1d, line, false, pc, cycle);
@@ -365,13 +378,25 @@ impl MemoryHierarchy {
     }
 
     /// Routes prefetch-usefulness feedback when a demand access touches a prefetched line.
-    fn feedback_prefetch_use(&mut self, level: CacheLevel, line: u64, outcome: &LookupOutcome) {
+    /// `lookup_cycle` is the cycle the demand looked this level up: a first use whose data
+    /// is still in flight at that point is useful but *late* (the demand stalls on the
+    /// prefetch instead of missing outright).
+    fn feedback_prefetch_use(
+        &mut self,
+        level: CacheLevel,
+        line: u64,
+        outcome: &LookupOutcome,
+        lookup_cycle: u64,
+    ) {
         if let LookupOutcome::Hit {
             first_use_of_prefetch: true,
-            ..
+            ready_cycle,
         } = outcome
         {
             self.epoch.prefetches_useful += 1;
+            if *ready_cycle > lookup_cycle {
+                self.epoch.prefetches_late += 1;
+            }
             if let Some(idx) = self.prefetch_provenance.remove(&line) {
                 if let Some(p) = self.prefetchers.get_mut(idx) {
                     p.on_prefetch_hit(line);

@@ -60,6 +60,6 @@ pub use multicore::{MultiCoreResult, MultiCoreSimulator};
 pub use stats::{EpochStats, SimStats};
 pub use trace::{InstrKind, TraceRecord, TraceSource, LINE_SIZE, PAGE_SIZE};
 pub use traits::{
-    AccessEvent, CoordinationDecision, Coordinator, LoadContext, OffChipPredictor, PrefetchRequest,
-    Prefetcher, PrefetcherInfo,
+    AccessEvent, CoordinationDecision, Coordinator, CoordinatorTelemetry, LoadContext,
+    OffChipPredictor, PrefetchRequest, Prefetcher, PrefetcherInfo,
 };

@@ -66,6 +66,7 @@ pub struct MultiCoreSimulator {
     config: SimConfig,
     dram: Rc<RefCell<Dram>>,
     cores: Vec<CoreSlot>,
+    agent_telemetry: bool,
 }
 
 impl MultiCoreSimulator {
@@ -81,7 +82,16 @@ impl MultiCoreSimulator {
             config,
             dram,
             cores: Vec::new(),
+            agent_telemetry: false,
         }
+    }
+
+    /// Enables per-epoch coordinator snapshots on every core added *afterwards* (see
+    /// [`SimResult::agent_epochs`]); call it before [`MultiCoreSimulator::add_core`]. Off
+    /// by default.
+    pub fn with_agent_telemetry(mut self) -> Self {
+        self.agent_telemetry = true;
+        self
     }
 
     /// Adds a core running `trace`, with the given prefetchers, optional OCP and optional
@@ -104,8 +114,12 @@ impl MultiCoreSimulator {
         if let Some(c) = coordinator {
             hierarchy.attach_coordinator(c);
         }
+        let mut engine = CoreEngine::new(&self.config);
+        if self.agent_telemetry {
+            engine.enable_agent_telemetry();
+        }
         self.cores.push(CoreSlot {
-            engine: CoreEngine::new(&self.config),
+            engine,
             hierarchy,
             trace,
             done: false,

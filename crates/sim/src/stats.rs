@@ -38,6 +38,9 @@ pub struct EpochStats {
     pub prefetches_issued: u64,
     /// Prefetch fills that were later demanded (first use of a prefetched line).
     pub prefetches_useful: u64,
+    /// Useful prefetches whose data was still in flight when the demand arrived (the demand
+    /// stalled on the prefetch instead of missing — useful, but late).
+    pub prefetches_late: u64,
     /// Prefetch fills performed from off-chip main memory.
     pub prefetch_fills_from_dram: u64,
     /// Demand misses whose line had been evicted by a prefetch fill (cache pollution).
@@ -47,6 +50,9 @@ pub struct EpochStats {
     pub ocp_predictions: u64,
     /// Off-chip predictions that were correct (the load did go off-chip).
     pub ocp_correct: u64,
+    /// Demand loads that were served by main memory (the OCP's positive class; recall
+    /// denominator).
+    pub loads_off_chip: u64,
 
     /// DRAM requests issued by demands during this epoch.
     pub dram_demand_requests: u64,
@@ -122,6 +128,107 @@ impl EpochStats {
     pub fn avg_llc_miss_latency(&self) -> f64 {
         ratio_f(self.llc_miss_latency_sum, self.llc_misses)
     }
+
+    /// L1D demand misses per kilo-instruction.
+    pub fn l1d_mpki(&self) -> f64 {
+        mpki(self.l1d_misses, self.instructions)
+    }
+
+    /// LLC demand misses per kilo-instruction.
+    pub fn llc_mpki(&self) -> f64 {
+        mpki(self.llc_misses, self.instructions)
+    }
+
+    /// Prefetch coverage: the fraction of would-be off-chip demand misses that prefetching
+    /// turned into hits, approximated as `useful / (useful + llc_misses)` (every useful
+    /// prefetch covered a miss; every remaining LLC miss went uncovered).
+    pub fn prefetch_coverage(&self) -> f64 {
+        ratio(
+            self.prefetches_useful,
+            self.prefetches_useful + self.llc_misses,
+        )
+    }
+
+    /// Prefetch timeliness: the fraction of useful prefetches whose data had fully arrived
+    /// before the demand touched the line (`1 - late/useful`).
+    pub fn prefetch_timeliness(&self) -> f64 {
+        if self.prefetches_useful == 0 {
+            0.0
+        } else {
+            1.0 - ratio(self.prefetches_late, self.prefetches_useful)
+        }
+    }
+
+    /// OCP precision: correct off-chip predictions over predictions made. Identical to
+    /// [`EpochStats::ocp_accuracy`] (the paper's Table 1 name); the precision/recall pair is
+    /// the telemetry layer's vocabulary.
+    pub fn ocp_precision(&self) -> f64 {
+        self.ocp_accuracy()
+    }
+
+    /// OCP recall: correct off-chip predictions over demand loads that actually went
+    /// off-chip.
+    pub fn ocp_recall(&self) -> f64 {
+        ratio(self.ocp_correct, self.loads_off_chip)
+    }
+
+    /// Adds another epoch's counters into this one (used by the telemetry layer to compose
+    /// whole coordination epochs into fixed-size windows). `epoch_index` keeps the first
+    /// epoch's index, so an aggregated window is identified by where it starts.
+    pub fn accumulate(&mut self, e: &EpochStats) {
+        // Exhaustive destructuring, no rest pattern: a counter added to `EpochStats` but
+        // not summed here becomes a compile error instead of silently breaking the
+        // windows-compose-exactly-to-aggregates guarantee (DESIGN.md §5).
+        let EpochStats {
+            epoch_index: _,
+            instructions,
+            cycles,
+            loads,
+            stores,
+            branches,
+            branch_mispredicts,
+            l1d_misses,
+            l2c_misses,
+            llc_misses,
+            llc_miss_latency_sum,
+            prefetches_issued,
+            prefetches_useful,
+            prefetches_late,
+            prefetch_fills_from_dram,
+            pollution_misses,
+            ocp_predictions,
+            ocp_correct,
+            loads_off_chip,
+            dram_demand_requests,
+            dram_prefetch_requests,
+            dram_ocp_requests,
+            dram_writeback_requests,
+            dram_busy_cycles,
+        } = *e;
+        self.instructions += instructions;
+        self.cycles += cycles;
+        self.loads += loads;
+        self.stores += stores;
+        self.branches += branches;
+        self.branch_mispredicts += branch_mispredicts;
+        self.l1d_misses += l1d_misses;
+        self.l2c_misses += l2c_misses;
+        self.llc_misses += llc_misses;
+        self.llc_miss_latency_sum += llc_miss_latency_sum;
+        self.prefetches_issued += prefetches_issued;
+        self.prefetches_useful += prefetches_useful;
+        self.prefetches_late += prefetches_late;
+        self.prefetch_fills_from_dram += prefetch_fills_from_dram;
+        self.pollution_misses += pollution_misses;
+        self.ocp_predictions += ocp_predictions;
+        self.ocp_correct += ocp_correct;
+        self.loads_off_chip += loads_off_chip;
+        self.dram_demand_requests += dram_demand_requests;
+        self.dram_prefetch_requests += dram_prefetch_requests;
+        self.dram_ocp_requests += dram_ocp_requests;
+        self.dram_writeback_requests += dram_writeback_requests;
+        self.dram_busy_cycles += dram_busy_cycles;
+    }
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
@@ -129,6 +236,14 @@ fn ratio(num: u64, den: u64) -> f64 {
         0.0
     } else {
         (num as f64 / den as f64).min(1.0)
+    }
+}
+
+fn mpki(events: u64, instructions: u64) -> f64 {
+    if instructions == 0 {
+        0.0
+    } else {
+        events as f64 * 1000.0 / instructions as f64
     }
 }
 
@@ -167,6 +282,8 @@ pub struct SimStats {
     pub prefetches_issued: u64,
     /// Total useful prefetches.
     pub prefetches_useful: u64,
+    /// Total useful-but-late prefetches (data still in flight at first demand use).
+    pub prefetches_late: u64,
     /// Total prefetch fills served from DRAM.
     pub prefetch_fills_from_dram: u64,
     /// Prefetch fills from DRAM that were never used before eviction.
@@ -177,6 +294,8 @@ pub struct SimStats {
     pub ocp_predictions: u64,
     /// Total correct off-chip predictions.
     pub ocp_correct: u64,
+    /// Total demand loads served by main memory.
+    pub loads_off_chip: u64,
     /// Total DRAM requests (all kinds).
     pub dram_total_requests: u64,
     /// Total DRAM demand requests.
@@ -204,10 +323,12 @@ impl SimStats {
         self.llc_miss_latency_sum += e.llc_miss_latency_sum;
         self.prefetches_issued += e.prefetches_issued;
         self.prefetches_useful += e.prefetches_useful;
+        self.prefetches_late += e.prefetches_late;
         self.prefetch_fills_from_dram += e.prefetch_fills_from_dram;
         self.pollution_misses += e.pollution_misses;
         self.ocp_predictions += e.ocp_predictions;
         self.ocp_correct += e.ocp_correct;
+        self.loads_off_chip += e.loads_off_chip;
         self.dram_total_requests += e.dram_total_requests();
         self.dram_demand_requests += e.dram_demand_requests;
         self.dram_prefetch_requests += e.dram_prefetch_requests;
@@ -255,6 +376,33 @@ impl SimStats {
             self.prefetch_fills_from_dram,
         )
     }
+
+    /// L1D misses per kilo-instruction over the whole run.
+    pub fn l1d_mpki(&self) -> f64 {
+        mpki(self.l1d_misses, self.instructions)
+    }
+
+    /// Whole-run prefetch coverage (see [`EpochStats::prefetch_coverage`]).
+    pub fn prefetch_coverage(&self) -> f64 {
+        ratio(
+            self.prefetches_useful,
+            self.prefetches_useful + self.llc_misses,
+        )
+    }
+
+    /// Whole-run prefetch timeliness (see [`EpochStats::prefetch_timeliness`]).
+    pub fn prefetch_timeliness(&self) -> f64 {
+        if self.prefetches_useful == 0 {
+            0.0
+        } else {
+            1.0 - ratio(self.prefetches_late, self.prefetches_useful)
+        }
+    }
+
+    /// Whole-run OCP recall (see [`EpochStats::ocp_recall`]).
+    pub fn ocp_recall(&self) -> f64 {
+        ratio(self.ocp_correct, self.loads_off_chip)
+    }
 }
 
 #[cfg(test)]
@@ -276,10 +424,12 @@ mod tests {
             llc_miss_latency_sum: 8000,
             prefetches_issued: 50,
             prefetches_useful: 30,
+            prefetches_late: 6,
             prefetch_fills_from_dram: 45,
             pollution_misses: 10,
             ocp_predictions: 40,
             ocp_correct: 36,
+            loads_off_chip: 45,
             dram_demand_requests: 40,
             dram_prefetch_requests: 45,
             dram_ocp_requests: 5,
@@ -301,6 +451,48 @@ mod tests {
         assert!((e.demand_bandwidth_share() - 0.40).abs() < 1e-12);
         assert!((e.ipc() - 0.5).abs() < 1e-12);
         assert!((e.avg_llc_miss_latency() - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn telemetry_metric_formulas() {
+        let e = sample_epoch();
+        assert!((e.l1d_mpki() - 100.0 * 1000.0 / 2048.0).abs() < 1e-9);
+        assert!((e.llc_mpki() - 40.0 * 1000.0 / 2048.0).abs() < 1e-9);
+        assert!((e.prefetch_coverage() - 30.0 / 70.0).abs() < 1e-12);
+        assert!((e.prefetch_timeliness() - 0.8).abs() < 1e-12);
+        assert_eq!(e.ocp_precision(), e.ocp_accuracy());
+        assert!((e.ocp_recall() - 0.8).abs() < 1e-12);
+        // No useful prefetches / no off-chip loads: the ratios degrade to zero.
+        let zero = EpochStats::default();
+        assert_eq!(zero.prefetch_timeliness(), 0.0);
+        assert_eq!(zero.ocp_recall(), 0.0);
+    }
+
+    #[test]
+    fn accumulate_sums_every_counter() {
+        let e = sample_epoch();
+        let mut window = EpochStats {
+            epoch_index: e.epoch_index,
+            ..Default::default()
+        };
+        window.accumulate(&e);
+        window.accumulate(&e);
+        assert_eq!(window.instructions, 2 * e.instructions);
+        assert_eq!(window.prefetches_late, 2 * e.prefetches_late);
+        assert_eq!(window.loads_off_chip, 2 * e.loads_off_chip);
+        assert_eq!(window.dram_busy_cycles, 2 * e.dram_busy_cycles);
+        assert_eq!(
+            window.epoch_index, 3,
+            "window keeps its first epoch's index"
+        );
+        // A window absorbed into SimStats matches the epoch-by-epoch path exactly.
+        let mut via_window = SimStats::default();
+        via_window.absorb_epoch(&window);
+        let mut via_epochs = SimStats::default();
+        via_epochs.absorb_epoch(&e);
+        via_epochs.absorb_epoch(&e);
+        via_window.epochs = via_epochs.epochs;
+        assert_eq!(via_window, via_epochs);
     }
 
     #[test]

@@ -180,6 +180,29 @@ impl CoordinationDecision {
     }
 }
 
+/// A snapshot of a *learning* coordinator's internal state, taken at an epoch boundary.
+///
+/// Counters are cumulative since the start of the run (per-interval deltas are recovered by
+/// subtracting consecutive snapshots, which the `athena-telemetry` windowing layer does).
+/// Non-learning coordinators have no internals worth sampling and return `None` from
+/// [`Coordinator::telemetry`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CoordinatorTelemetry {
+    /// The exploration rate in force (ε for ε-greedy agents; 0 for deterministic policies).
+    pub epsilon: f64,
+    /// Number of learning updates applied so far (SARSA updates for Athena).
+    pub updates: u64,
+    /// Mean Q-value of a uniformly random state-action pair under the store's hashing
+    /// (see `QvStore::summary` in `athena-core` for the exact definition).
+    pub q_mean: f64,
+    /// Lower bound on any representable Q-value in the store.
+    pub q_min: f64,
+    /// Upper bound on any representable Q-value in the store.
+    pub q_max: f64,
+    /// Cumulative count of each action chosen so far, in the policy's own action order.
+    pub action_histogram: Vec<u64>,
+}
+
 /// A prefetcher/OCP coordination policy.
 ///
 /// The simulator calls [`Coordinator::attach`] once before the run starts and
@@ -209,6 +232,15 @@ pub trait Coordinator {
     /// drops the prefetch. The default keeps every request.
     fn filter_l1d_prefetch(&mut self, _req: &PrefetchRequest, _off_chip_confidence: f32) -> bool {
         true
+    }
+
+    /// Optional snapshot of the policy's learning internals, sampled by the telemetry layer
+    /// at epoch boundaries (after [`Coordinator::on_epoch_end`] has applied that epoch's
+    /// update). The default — for policies with no learned state — is `None`; the simulator
+    /// only calls this when agent telemetry was explicitly enabled, so implementations may
+    /// do O(storage) work here without affecting ordinary runs.
+    fn telemetry(&self) -> Option<CoordinatorTelemetry> {
+        None
     }
 }
 

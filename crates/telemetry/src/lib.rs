@@ -1,0 +1,52 @@
+//! # athena-telemetry
+//!
+//! Windowed time-series telemetry for the Athena reproduction.
+//!
+//! Everything the repository reported before this crate existed was an end-of-run
+//! aggregate, which makes the *online* part of online reinforcement learning invisible:
+//! Athena's policy, Q-values and prefetch/OCP coordination evolve over a run, and the
+//! paper's learning-behaviour and case-study figures are about exactly that evolution.
+//! This crate turns the simulator's per-epoch telemetry stream into fixed-size
+//! **windows** — per-interval samples of IPC, L1D/LLC MPKI, prefetch
+//! coverage/accuracy/timeliness, OCP precision/recall and (when enabled) the agent's
+//! learning internals — and derives **learning curves** (early-window vs late-window
+//! metrics) from them.
+//!
+//! Design constraints, in order:
+//!
+//! * **Results never change.** Windowing is a pure function of the epoch stream the
+//!   simulator already produces; it adds no counters of its own and feeds nothing back.
+//!   A timeline is therefore exactly as deterministic as the run it describes — byte-
+//!   identical at any engine worker count and under trace replay.
+//! * **Zero cost when disabled.** The simulator collects epochs unconditionally (it always
+//!   has); agent snapshots — the only part with a measurable cost, one pass over the
+//!   QVStore per epoch — are strictly opt-in via `Simulator::with_agent_telemetry`.
+//! * **O(1) working state.** [`WindowAccumulator`] keeps one partial window while
+//!   streaming; memory is proportional to the number of *emitted* windows only.
+//!
+//! ```
+//! use athena_sim::EpochStats;
+//! use athena_telemetry::Timeline;
+//!
+//! // Six 2048-instruction epochs, windowed every 4096 instructions -> three windows.
+//! let epochs: Vec<EpochStats> = (0..6)
+//!     .map(|i| EpochStats {
+//!         epoch_index: i,
+//!         instructions: 2048,
+//!         cycles: 4096,
+//!         ..Default::default()
+//!     })
+//!     .collect();
+//! let timeline = Timeline::from_epochs(4096, &epochs, &[]);
+//! assert_eq!(timeline.windows.len(), 3);
+//! assert_eq!(timeline.totals().instructions, 6 * 2048);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod timeline;
+mod window;
+
+pub use timeline::{LearningCurve, Timeline, WindowMetrics};
+pub use window::{WindowAccumulator, WindowSample, DEFAULT_WINDOW_INSTRUCTIONS};

@@ -1,0 +1,345 @@
+//! The assembled time series ([`Timeline`]), its CSV export and learning-curve
+//! summarisation.
+
+use athena_sim::{CoordinatorTelemetry, EpochStats};
+
+use crate::window::{WindowAccumulator, WindowSample};
+
+/// The complete windowed time series of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    /// The configured window length in instructions (windows hold whole epochs, so actual
+    /// window sizes are this value rounded up to an epoch boundary; the last window may be
+    /// shorter).
+    pub window_instructions: u64,
+    /// The windows, in run order.
+    pub windows: Vec<WindowSample>,
+}
+
+impl Timeline {
+    /// Builds a timeline from a run's epoch series and (possibly empty) per-epoch agent
+    /// snapshots, as found in `SimResult::epochs` / `SimResult::agent_epochs`. The
+    /// snapshots are positionally aligned with the epochs: entry *i* belongs to epoch
+    /// *i*, with `None` for epochs where the coordinator reported no internals.
+    pub fn from_epochs(
+        window_instructions: u64,
+        epochs: &[EpochStats],
+        agent_epochs: &[Option<CoordinatorTelemetry>],
+    ) -> Self {
+        let mut acc = WindowAccumulator::new(window_instructions);
+        for (i, e) in epochs.iter().enumerate() {
+            acc.push_epoch(e, agent_epochs.get(i).and_then(Option::as_ref));
+        }
+        acc.finish()
+    }
+
+    /// Exact sum of every window's counters — by construction identical to summing the
+    /// run's epochs directly, which is how the end-of-run aggregates are built. The
+    /// composition property `timeline.totals() == whole-run stats` is locked in by the
+    /// workspace test `tests/telemetry.rs` for every coordinator kind.
+    pub fn totals(&self) -> EpochStats {
+        let mut total = EpochStats::default();
+        for w in &self.windows {
+            total.accumulate(&w.stats);
+        }
+        total.epoch_index = 0;
+        total
+    }
+
+    /// Per-window action counts: the element-wise difference between consecutive cumulative
+    /// agent histograms (`None` for windows without an agent snapshot). The first window
+    /// diffs against zero.
+    pub fn action_deltas(&self) -> Vec<Option<Vec<u64>>> {
+        let mut previous: Option<&[u64]> = None;
+        self.windows
+            .iter()
+            .map(|w| {
+                let agent = w.agent.as_ref()?;
+                let delta = agent
+                    .action_histogram
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| c - previous.and_then(|p| p.get(i)).copied().unwrap_or(0))
+                    .collect();
+                previous = Some(&agent.action_histogram);
+                Some(delta)
+            })
+            .collect()
+    }
+
+    /// Number of actions in the agent histograms (0 when no window carries agent data).
+    fn action_count(&self) -> usize {
+        self.windows
+            .iter()
+            .filter_map(|w| w.agent.as_ref().map(|a| a.action_histogram.len()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Serialises the timeline as CSV: one row per window with the raw counters, the
+    /// derived per-window metrics, and — when any window carries agent data — the agent's
+    /// Q-value summary, exploration rate and per-window action counts. Formatting is fixed
+    /// (six decimal places), so equal timelines serialise to equal bytes.
+    pub fn to_csv(&self) -> String {
+        let actions = self.action_count();
+        let mut out = String::from(
+            "window,start_instruction,epochs,instructions,cycles,ipc,l1d_mpki,llc_mpki,\
+             prefetches_issued,prefetches_useful,prefetches_late,prefetch_accuracy,\
+             prefetch_coverage,prefetch_timeliness,ocp_predictions,ocp_correct,\
+             ocp_precision,ocp_recall,bandwidth_usage",
+        );
+        if actions > 0 {
+            out.push_str(",q_mean,q_min,q_max,epsilon,updates");
+            for a in 0..actions {
+                out.push_str(&format!(",action{a}"));
+            }
+        }
+        out.push('\n');
+        let deltas = self.action_deltas();
+        for (w, delta) in self.windows.iter().zip(deltas) {
+            let s = &w.stats;
+            out.push_str(&format!(
+                "{},{},{},{},{},{:.6},{:.6},{:.6},{},{},{},{:.6},{:.6},{:.6},{},{},{:.6},{:.6},{:.6}",
+                w.index,
+                w.start_instruction,
+                w.epochs,
+                s.instructions,
+                s.cycles,
+                s.ipc(),
+                s.l1d_mpki(),
+                s.llc_mpki(),
+                s.prefetches_issued,
+                s.prefetches_useful,
+                s.prefetches_late,
+                s.prefetcher_accuracy(),
+                s.prefetch_coverage(),
+                s.prefetch_timeliness(),
+                s.ocp_predictions,
+                s.ocp_correct,
+                s.ocp_precision(),
+                s.ocp_recall(),
+                s.bandwidth_usage(),
+            ));
+            if actions > 0 {
+                match (&w.agent, delta) {
+                    (Some(a), Some(d)) => {
+                        out.push_str(&format!(
+                            ",{:.6},{:.6},{:.6},{:.6},{}",
+                            a.q_mean, a.q_min, a.q_max, a.epsilon, a.updates
+                        ));
+                        for i in 0..actions {
+                            out.push_str(&format!(",{}", d.get(i).copied().unwrap_or(0)));
+                        }
+                    }
+                    _ => {
+                        // Five empty scalar columns plus one empty column per action.
+                        for _ in 0..5 + actions {
+                            out.push(',');
+                        }
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The raw counter sums behind [`Timeline::learning_curve`]: the number of windows
+    /// per side (the first and last quarter of the run, at least one window each) and the
+    /// early/late aggregated counters. Exposed so multi-run reports (e.g. the harness's
+    /// per-coordinator learning-curve table) can keep aggregating counters across runs
+    /// with the *same* window split the per-run curve uses.
+    pub fn early_late_window_sums(&self) -> Option<(u64, EpochStats, EpochStats)> {
+        if self.windows.is_empty() {
+            return None;
+        }
+        let k = (self.windows.len() / 4).max(1);
+        let sum = |windows: &[WindowSample]| {
+            let mut total = EpochStats::default();
+            for w in windows {
+                total.accumulate(&w.stats);
+            }
+            total
+        };
+        Some((
+            k as u64,
+            sum(&self.windows[..k]),
+            sum(&self.windows[self.windows.len() - k..]),
+        ))
+    }
+
+    /// The early-vs-late learning curve: metrics aggregated over the first and last
+    /// quarter of the windows (at least one window each). `None` when the run produced no
+    /// windows. Aggregation sums the window counters first and derives the ratios from the
+    /// sums, so the curve is exact, not an average of averages.
+    pub fn learning_curve(&self) -> Option<LearningCurve> {
+        let (k, early, late) = self.early_late_window_sums()?;
+        Some(LearningCurve {
+            windows_per_side: k,
+            early: WindowMetrics::from_stats(&early),
+            late: WindowMetrics::from_stats(&late),
+        })
+    }
+}
+
+/// The derived metrics of one window (or one aggregated span of windows).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowMetrics {
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// L1D misses per kilo-instruction.
+    pub l1d_mpki: f64,
+    /// LLC misses per kilo-instruction.
+    pub llc_mpki: f64,
+    /// Prefetcher accuracy (useful / issued).
+    pub prefetch_accuracy: f64,
+    /// Prefetch coverage (useful / (useful + LLC misses)).
+    pub prefetch_coverage: f64,
+    /// Prefetch timeliness (1 − late / useful).
+    pub prefetch_timeliness: f64,
+    /// OCP precision (correct / predicted).
+    pub ocp_precision: f64,
+    /// OCP recall (correct / off-chip loads).
+    pub ocp_recall: f64,
+}
+
+impl WindowMetrics {
+    /// Derives the metric set from (possibly aggregated) window counters.
+    pub fn from_stats(s: &EpochStats) -> Self {
+        Self {
+            ipc: s.ipc(),
+            l1d_mpki: s.l1d_mpki(),
+            llc_mpki: s.llc_mpki(),
+            prefetch_accuracy: s.prefetcher_accuracy(),
+            prefetch_coverage: s.prefetch_coverage(),
+            prefetch_timeliness: s.prefetch_timeliness(),
+            ocp_precision: s.ocp_precision(),
+            ocp_recall: s.ocp_recall(),
+        }
+    }
+}
+
+/// Early-window vs late-window metrics of one run — the repository's analogue of the
+/// paper's learning-behaviour figures: an online policy that is actually learning shows
+/// late windows beating early ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LearningCurve {
+    /// How many windows each side aggregates (a quarter of the run, at least one).
+    pub windows_per_side: u64,
+    /// Metrics over the first `windows_per_side` windows.
+    pub early: WindowMetrics,
+    /// Metrics over the last `windows_per_side` windows.
+    pub late: WindowMetrics,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epoch(index: u64) -> EpochStats {
+        EpochStats {
+            epoch_index: index,
+            instructions: 2048,
+            cycles: 4096 - index * 100, // "learning": later epochs are faster
+            llc_misses: 40,
+            prefetches_issued: 50,
+            prefetches_useful: 20 + index, // and more accurate
+            prefetches_late: 2,
+            ocp_predictions: 30,
+            ocp_correct: 24,
+            loads_off_chip: 30,
+            ..Default::default()
+        }
+    }
+
+    fn timeline() -> Timeline {
+        let epochs: Vec<EpochStats> = (0..8).map(epoch).collect();
+        Timeline::from_epochs(2048, &epochs, &[])
+    }
+
+    #[test]
+    fn totals_match_epoch_sums_exactly() {
+        let t = timeline();
+        assert_eq!(t.windows.len(), 8);
+        let total = t.totals();
+        assert_eq!(total.instructions, 8 * 2048);
+        assert_eq!(total.prefetches_useful, (0..8).map(|i| 20 + i).sum::<u64>());
+    }
+
+    #[test]
+    fn learning_curve_sees_improvement() {
+        let curve = timeline().learning_curve().unwrap();
+        assert_eq!(curve.windows_per_side, 2);
+        assert!(curve.late.ipc > curve.early.ipc);
+        assert!(curve.late.prefetch_accuracy > curve.early.prefetch_accuracy);
+        assert!(Timeline::from_epochs(2048, &[], &[])
+            .learning_curve()
+            .is_none());
+    }
+
+    #[test]
+    fn csv_is_stable_and_carries_agent_columns_only_when_present() {
+        let t = timeline();
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 9, "header plus one row per window");
+        assert!(csv.starts_with("window,start_instruction,"));
+        assert!(!csv.contains("q_mean"), "no agent data, no agent columns");
+        assert_eq!(csv, t.to_csv(), "serialisation is deterministic");
+
+        let agent = CoordinatorTelemetry {
+            epsilon: 0.05,
+            updates: 7,
+            q_mean: 0.25,
+            q_min: -1.0,
+            q_max: 2.0,
+            action_histogram: vec![1, 2, 3, 4],
+        };
+        let epochs: Vec<EpochStats> = (0..2).map(epoch).collect();
+        let with_agent = Timeline::from_epochs(2048, &epochs, &[Some(agent.clone()), Some(agent)]);
+        let csv = with_agent.to_csv();
+        assert!(csv.contains("q_mean"));
+        assert!(csv.contains(",action3"));
+    }
+
+    #[test]
+    fn csv_rows_keep_the_header_width_even_without_agent_data() {
+        // A timeline where only some windows carry an agent snapshot must still emit
+        // rectangular CSV: every row has exactly as many fields as the header.
+        let agent = CoordinatorTelemetry {
+            action_histogram: vec![1, 2, 3, 4],
+            ..Default::default()
+        };
+        let epochs: Vec<EpochStats> = (0..3).map(epoch).collect();
+        let mut acc = crate::WindowAccumulator::new(2048);
+        acc.push_epoch(&epochs[0], Some(&agent));
+        acc.push_epoch(&epochs[1], None);
+        acc.push_epoch(&epochs[2], Some(&agent));
+        let csv = acc.finish().to_csv();
+        let widths: Vec<usize> = csv.lines().map(|line| line.split(',').count()).collect();
+        assert_eq!(widths.len(), 4, "header plus three windows");
+        assert!(
+            widths.iter().all(|&w| w == widths[0]),
+            "all rows must match the header width: {widths:?}"
+        );
+    }
+
+    #[test]
+    fn action_deltas_diff_consecutive_histograms() {
+        let snap = |h: [u64; 4]| {
+            Some(CoordinatorTelemetry {
+                action_histogram: h.to_vec(),
+                ..Default::default()
+            })
+        };
+        let epochs: Vec<EpochStats> = (0..3).map(epoch).collect();
+        let t = Timeline::from_epochs(
+            2048,
+            &epochs,
+            &[snap([1, 0, 0, 0]), snap([1, 2, 0, 0]), snap([1, 2, 0, 3])],
+        );
+        let deltas = t.action_deltas();
+        assert_eq!(deltas[0], Some(vec![1, 0, 0, 0]));
+        assert_eq!(deltas[1], Some(vec![0, 2, 0, 0]));
+        assert_eq!(deltas[2], Some(vec![0, 0, 0, 3]));
+    }
+}

@@ -1,0 +1,160 @@
+//! Window formation: folding the per-epoch telemetry stream into fixed-size intervals.
+
+use athena_sim::{CoordinatorTelemetry, EpochStats};
+
+use crate::timeline::Timeline;
+
+/// Default window length in instructions: four coordination epochs at the paper's 2K
+/// epoch length — fine enough to see convergence in a 40 K-instruction quick run, coarse
+/// enough that full runs stay a few hundred rows.
+pub const DEFAULT_WINDOW_INSTRUCTIONS: u64 = 8192;
+
+/// One telemetry window: every simulator counter aggregated over a fixed slice of the run,
+/// plus (when sampled) the coordinator's learning internals at the window's close.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSample {
+    /// Window sequence number (0-based).
+    pub index: u64,
+    /// Instructions retired before this window began.
+    pub start_instruction: u64,
+    /// Number of coordination epochs composing the window.
+    pub epochs: u64,
+    /// The window's counters: an exact sum of its epochs' [`EpochStats`] (the derived
+    /// metrics — `ipc()`, `llc_mpki()`, `prefetch_coverage()`, … — therefore come for
+    /// free). `stats.epoch_index` is the index of the window's first epoch.
+    pub stats: EpochStats,
+    /// Snapshot of the coordinator's learning internals at the end of the window's last
+    /// epoch. Counters inside are cumulative since the start of the run; `None` when agent
+    /// telemetry was not enabled or the policy has no learned state.
+    pub agent: Option<CoordinatorTelemetry>,
+}
+
+/// Streams epochs into windows with O(1) working state.
+///
+/// A window closes as soon as it holds at least `window_instructions` instructions, so
+/// windows are composed of *whole* coordination epochs (the simulator's sampling quantum)
+/// and the final window may be shorter. Because every epoch lands in exactly one window,
+/// the windows partition the run: summing them reproduces the end-of-run aggregates
+/// exactly, counter for counter.
+#[derive(Debug, Clone)]
+pub struct WindowAccumulator {
+    window_instructions: u64,
+    current: Option<WindowSample>,
+    instructions_seen: u64,
+    windows: Vec<WindowSample>,
+}
+
+impl WindowAccumulator {
+    /// Creates an accumulator producing windows of at least `window_instructions`
+    /// instructions (clamped to 1).
+    pub fn new(window_instructions: u64) -> Self {
+        Self {
+            window_instructions: window_instructions.max(1),
+            current: None,
+            instructions_seen: 0,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Folds one epoch — and, when available, the coordinator snapshot taken at its end —
+    /// into the current window, closing the window if it reached the configured length.
+    pub fn push_epoch(&mut self, epoch: &EpochStats, agent: Option<&CoordinatorTelemetry>) {
+        let current = self.current.get_or_insert_with(|| WindowSample {
+            index: self.windows.len() as u64,
+            start_instruction: self.instructions_seen,
+            epochs: 0,
+            stats: EpochStats {
+                epoch_index: epoch.epoch_index,
+                ..Default::default()
+            },
+            agent: None,
+        });
+        current.stats.accumulate(epoch);
+        current.epochs += 1;
+        // The snapshot of the window's *last* epoch wins: cumulative counters make the
+        // per-window delta recoverable downstream.
+        if let Some(a) = agent {
+            current.agent = Some(a.clone());
+        }
+        self.instructions_seen += epoch.instructions;
+        if current.stats.instructions >= self.window_instructions {
+            self.windows.push(self.current.take().expect("window open"));
+        }
+    }
+
+    /// Closes the final partial window (if any) and returns the assembled timeline.
+    pub fn finish(mut self) -> Timeline {
+        if let Some(last) = self.current.take() {
+            self.windows.push(last);
+        }
+        Timeline {
+            window_instructions: self.window_instructions,
+            windows: self.windows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epoch(index: u64, instructions: u64) -> EpochStats {
+        EpochStats {
+            epoch_index: index,
+            instructions,
+            cycles: instructions * 2,
+            loads: instructions / 4,
+            llc_misses: 3,
+            prefetches_issued: 10,
+            prefetches_useful: 7,
+            prefetches_late: 2,
+            ocp_predictions: 5,
+            ocp_correct: 4,
+            loads_off_chip: 6,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn windows_are_whole_epochs_and_partition_the_run() {
+        let mut acc = WindowAccumulator::new(4096);
+        for i in 0..7 {
+            acc.push_epoch(&epoch(i, 2048), None);
+        }
+        let t = acc.finish();
+        // 7 epochs at 2048 instr, 4096-instruction windows: three full + one partial.
+        assert_eq!(t.windows.len(), 4);
+        assert_eq!(t.windows[0].epochs, 2);
+        assert_eq!(t.windows[3].epochs, 1);
+        assert_eq!(t.windows[1].start_instruction, 4096);
+        assert_eq!(t.windows[3].stats.epoch_index, 6);
+        let total: u64 = t.windows.iter().map(|w| w.stats.instructions).sum();
+        assert_eq!(total, 7 * 2048);
+        assert_eq!(t.totals().prefetches_useful, 7 * 7);
+        assert_eq!(t.totals().loads_off_chip, 7 * 6);
+    }
+
+    #[test]
+    fn oversized_epochs_close_their_window_immediately() {
+        let mut acc = WindowAccumulator::new(100);
+        acc.push_epoch(&epoch(0, 2048), None);
+        acc.push_epoch(&epoch(1, 2048), None);
+        let t = acc.finish();
+        assert_eq!(t.windows.len(), 2, "each epoch overshoots the window alone");
+    }
+
+    #[test]
+    fn last_agent_snapshot_of_the_window_wins() {
+        let mut acc = WindowAccumulator::new(4096);
+        let snap = |updates| CoordinatorTelemetry {
+            updates,
+            ..Default::default()
+        };
+        acc.push_epoch(&epoch(0, 2048), Some(&snap(1)));
+        acc.push_epoch(&epoch(1, 2048), Some(&snap(2)));
+        acc.push_epoch(&epoch(2, 2048), None);
+        let t = acc.finish();
+        assert_eq!(t.windows[0].agent.as_ref().unwrap().updates, 2);
+        assert_eq!(t.windows[1].agent, None);
+    }
+}

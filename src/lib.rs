@@ -21,6 +21,8 @@
 //! * [`coordinators`] — Naive, HPAC, MAB, TLP baseline policies.
 //! * [`workloads`] — the 100-workload synthetic trace suite.
 //! * [`trace_io`] — on-disk trace formats (binary + text) and streaming replay.
+//! * [`telemetry`] — windowed time-series telemetry (per-interval IPC/MPKI/coverage
+//!   series, agent learning internals, learning curves).
 //! * [`engine`] — the parallel experiment engine (jobs, deterministic seeding, worker
 //!   pool, JSON reports).
 //! * [`harness`] — the per-figure experiment harness and the `figures` / `trace` CLIs.
@@ -35,6 +37,7 @@ pub use athena_harness as harness;
 pub use athena_ocp as ocp;
 pub use athena_prefetchers as prefetchers;
 pub use athena_sim as sim;
+pub use athena_telemetry as telemetry;
 pub use athena_trace_io as trace_io;
 pub use athena_workloads as workloads;
 
@@ -48,9 +51,10 @@ pub mod prelude {
         RunResult, SystemConfig,
     };
     pub use athena_sim::{
-        Coordinator, EpochStats, OffChipPredictor, Prefetcher, SimConfig, Simulator, TraceRecord,
-        TraceSource,
+        Coordinator, CoordinatorTelemetry, EpochStats, OffChipPredictor, Prefetcher, SimConfig,
+        Simulator, TraceRecord, TraceSource,
     };
+    pub use athena_telemetry::{LearningCurve, Timeline, WindowSample};
     pub use athena_trace_io::{
         convert, open_trace, record_trace, TraceFormat, TraceIoError, TraceSummary,
     };

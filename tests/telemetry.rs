@@ -1,0 +1,194 @@
+//! Windowed-telemetry composition properties (workspace-level).
+//!
+//! The telemetry layer's core guarantee is that windows *partition* a run: every
+//! coordination epoch lands in exactly one window, so summing the windowed counters
+//! reproduces the end-of-run aggregate statistics exactly — counter for counter, for
+//! every coordination policy, at any window length. These tests lock that in, alongside
+//! the zero-cost-when-disabled and observation-changes-nothing properties.
+
+use athena_repro::athena::AthenaConfig;
+use athena_repro::engine::{
+    CoordinatorKind, Job, JobOutput, OcpKind, PrefetcherKind, RunResult, SystemConfig,
+};
+use athena_repro::telemetry::Timeline;
+use athena_repro::workloads::all_workloads;
+use proptest::prelude::*;
+
+const INSTRUCTIONS: u64 = 12_000;
+
+/// One instance of every coordination policy the engine can build.
+fn every_coordinator_kind() -> Vec<CoordinatorKind> {
+    vec![
+        CoordinatorKind::Baseline,
+        CoordinatorKind::OcpOnly,
+        CoordinatorKind::PrefetchersOnly,
+        CoordinatorKind::Naive,
+        CoordinatorKind::Fixed {
+            ocp: true,
+            prefetchers: false,
+        },
+        CoordinatorKind::Hpac,
+        CoordinatorKind::Mab,
+        CoordinatorKind::Tlp,
+        CoordinatorKind::Athena,
+        CoordinatorKind::AthenaWith(
+            AthenaConfig::default().with_hyperparameters(0.6, 0.6, 0.10, 0.12),
+        ),
+    ]
+}
+
+fn run_with_telemetry(kind: CoordinatorKind, window: u64) -> RunResult {
+    let spec = all_workloads()[0].clone();
+    let config = SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet);
+    let job =
+        Job::single("telemetry-test", spec, config, kind, INSTRUCTIONS).with_telemetry(window);
+    match job.run() {
+        JobOutput::Single(r) => *r,
+        JobOutput::Multi(_) => unreachable!("single cell"),
+    }
+}
+
+/// Every counter shared between the windowed totals and the whole-run aggregates must
+/// match exactly — not approximately.
+fn assert_composes_exactly(run: &RunResult) {
+    let timeline = run.timeline.as_ref().expect("telemetry requested");
+    let t = timeline.totals();
+    let s = &run.stats;
+    assert_eq!(t.instructions, s.instructions);
+    assert_eq!(t.cycles, s.cycles);
+    assert_eq!(t.loads, s.loads);
+    assert_eq!(t.stores, s.stores);
+    assert_eq!(t.branches, s.branches);
+    assert_eq!(t.branch_mispredicts, s.branch_mispredicts);
+    assert_eq!(t.l1d_misses, s.l1d_misses);
+    assert_eq!(t.l2c_misses, s.l2c_misses);
+    assert_eq!(t.llc_misses, s.llc_misses);
+    assert_eq!(t.llc_miss_latency_sum, s.llc_miss_latency_sum);
+    assert_eq!(t.prefetches_issued, s.prefetches_issued);
+    assert_eq!(t.prefetches_useful, s.prefetches_useful);
+    assert_eq!(t.prefetches_late, s.prefetches_late);
+    assert_eq!(t.prefetch_fills_from_dram, s.prefetch_fills_from_dram);
+    assert_eq!(t.pollution_misses, s.pollution_misses);
+    assert_eq!(t.ocp_predictions, s.ocp_predictions);
+    assert_eq!(t.ocp_correct, s.ocp_correct);
+    assert_eq!(t.loads_off_chip, s.loads_off_chip);
+    assert_eq!(t.dram_demand_requests, s.dram_demand_requests);
+    assert_eq!(t.dram_prefetch_requests, s.dram_prefetch_requests);
+    assert_eq!(t.dram_ocp_requests, s.dram_ocp_requests);
+    assert_eq!(t.dram_total_requests(), s.dram_total_requests);
+    // Derived metrics computed from the window sums therefore equal the aggregate-table
+    // values bit for bit.
+    assert_eq!(t.ipc(), s.ipc());
+    assert_eq!(t.llc_mpki(), s.llc_mpki());
+    assert_eq!(t.prefetcher_accuracy(), s.prefetcher_accuracy());
+    assert_eq!(t.ocp_accuracy(), s.ocp_accuracy());
+    assert_eq!(t.prefetch_coverage(), s.prefetch_coverage());
+    assert_eq!(t.prefetch_timeliness(), s.prefetch_timeliness());
+    assert_eq!(t.ocp_recall(), s.ocp_recall());
+    // And the windows genuinely partition the run.
+    let mut expected_start = 0;
+    for w in &timeline.windows {
+        assert_eq!(w.start_instruction, expected_start);
+        assert!(w.epochs > 0);
+        expected_start += w.stats.instructions;
+    }
+    assert_eq!(expected_start, s.instructions);
+}
+
+#[test]
+fn windows_compose_to_aggregates_for_every_coordinator_kind() {
+    for kind in every_coordinator_kind() {
+        for window in [1, 2048, 5000, 8192, 1_000_000] {
+            let run = run_with_telemetry(kind.clone(), window);
+            assert_composes_exactly(&run);
+            if window == 1_000_000 {
+                let timeline = run.timeline.as_ref().unwrap();
+                assert_eq!(
+                    timeline.windows.len(),
+                    1,
+                    "{}: an over-long window swallows the whole run",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn observation_does_not_change_the_simulation() {
+    let spec = all_workloads()[1].clone();
+    let config = SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet);
+    let kind = CoordinatorKind::Athena;
+    let plain = Job::single(
+        "telemetry-test",
+        spec.clone(),
+        config.clone(),
+        kind.clone(),
+        INSTRUCTIONS,
+    );
+    let observed = plain.clone().with_telemetry(4096);
+    let (plain, observed) = match (plain.run(), observed.run()) {
+        (JobOutput::Single(a), JobOutput::Single(b)) => (*a, *b),
+        _ => unreachable!("single cells"),
+    };
+    assert_eq!(plain.stats, observed.stats);
+    assert_eq!(plain.epochs, observed.epochs);
+    assert_eq!(plain.ipc, observed.ipc);
+    assert!(plain.timeline.is_none());
+    assert!(observed.timeline.is_some());
+}
+
+#[test]
+fn athena_windows_carry_monotonic_agent_snapshots() {
+    let run = run_with_telemetry(CoordinatorKind::Athena, 4096);
+    let timeline = run.timeline.as_ref().unwrap();
+    let mut last_updates = 0;
+    let mut last_actions = 0;
+    for w in &timeline.windows {
+        let agent = w.agent.as_ref().expect("athena is a learning policy");
+        assert!(agent.updates >= last_updates, "updates are cumulative");
+        let actions: u64 = agent.action_histogram.iter().sum();
+        assert!(actions >= last_actions, "the histogram is cumulative");
+        assert!(agent.q_min <= agent.q_mean && agent.q_mean <= agent.q_max);
+        last_updates = agent.updates;
+        last_actions = agent.actions_total();
+    }
+    // Per-window action deltas sum back to the final cumulative histogram.
+    let final_hist = timeline.windows.last().unwrap().agent.as_ref().unwrap();
+    let mut recomposed = vec![0u64; final_hist.action_histogram.len()];
+    for delta in timeline.action_deltas().into_iter().flatten() {
+        for (r, d) in recomposed.iter_mut().zip(delta) {
+            *r += d;
+        }
+    }
+    assert_eq!(recomposed, final_hist.action_histogram);
+}
+
+trait ActionsTotal {
+    fn actions_total(&self) -> u64;
+}
+
+impl ActionsTotal for athena_repro::sim::CoordinatorTelemetry {
+    fn actions_total(&self) -> u64 {
+        self.action_histogram.iter().sum()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The composition property holds at arbitrary window lengths, not just round ones.
+    #[test]
+    fn windows_compose_at_arbitrary_lengths(window in 1u64..50_000) {
+        let run = run_with_telemetry(CoordinatorKind::Athena, window);
+        assert_composes_exactly(&run);
+        // Windowing the recorded epoch stream again from scratch reproduces the
+        // job-attached timeline: it is a pure function of the epochs.
+        let rebuilt = Timeline::from_epochs(window, &run.epochs, &[]);
+        let attached = run.timeline.as_ref().unwrap();
+        prop_assert_eq!(rebuilt.windows.len(), attached.windows.len());
+        for (a, b) in rebuilt.windows.iter().zip(&attached.windows) {
+            prop_assert_eq!(&a.stats, &b.stats);
+        }
+    }
+}
