@@ -19,6 +19,32 @@ pub struct RewardWeights {
     pub lambda_mispredicted_branches: f64,
 }
 
+impl RewardWeights {
+    /// The λ weights as a fixed-order array `[cycle, llc_misses, llc_miss_latency, loads,
+    /// mispredicted_branches]` — the serialisation order used by the tuning subsystem's
+    /// on-disk configs and leaderboards.
+    pub fn as_array(&self) -> [f64; 5] {
+        [
+            self.lambda_cycle,
+            self.lambda_llc_misses,
+            self.lambda_llc_miss_latency,
+            self.lambda_loads,
+            self.lambda_mispredicted_branches,
+        ]
+    }
+
+    /// The inverse of [`RewardWeights::as_array`].
+    pub fn from_array(values: [f64; 5]) -> Self {
+        Self {
+            lambda_cycle: values[0],
+            lambda_llc_misses: values[1],
+            lambda_llc_miss_latency: values[2],
+            lambda_loads: values[3],
+            lambda_mispredicted_branches: values[4],
+        }
+    }
+}
+
 impl Default for RewardWeights {
     /// The DSE-selected weights of Table 3: λcycle = 1.6, λLLCm = 0, λLLCt = 0,
     /// λload = 0.6, λMBr = 1.0.
@@ -193,6 +219,13 @@ mod tests {
         assert!(c.features.is_empty());
         assert!(!c.use_uncorrelated_reward);
         assert_eq!(c.reward_weights.lambda_mispredicted_branches, 0.0);
+    }
+
+    #[test]
+    fn reward_weights_round_trip_through_the_array_form() {
+        let w = RewardWeights::default();
+        assert_eq!(RewardWeights::from_array(w.as_array()), w);
+        assert_eq!(w.as_array(), [1.6, 0.0, 0.0, 0.6, 1.0]);
     }
 
     #[test]

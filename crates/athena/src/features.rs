@@ -73,6 +73,15 @@ impl Feature {
             Feature::DemandBandwidthShare => "DBW",
         }
     }
+
+    /// The inverse of [`Feature::short_name`], used when loading serialised configurations
+    /// (e.g. a tuned `AthenaConfig` written to disk by the design-space explorer).
+    pub fn from_short_name(name: &str) -> Option<Feature> {
+        Feature::all_candidates()
+            .iter()
+            .copied()
+            .find(|f| f.short_name() == name)
+    }
 }
 
 /// A quantised state vector: the concatenation of the selected features' quantised values
@@ -156,6 +165,14 @@ mod tests {
             last = q;
         }
         assert_eq!(last, LEVELS_PER_FEATURE - 1);
+    }
+
+    #[test]
+    fn short_names_round_trip() {
+        for f in Feature::all_candidates() {
+            assert_eq!(Feature::from_short_name(f.short_name()), Some(*f));
+        }
+        assert_eq!(Feature::from_short_name("nope"), None);
     }
 
     #[test]

@@ -38,6 +38,7 @@ fn figure_benches(c: &mut Criterion) {
         workload_limit: Some(3),
         jobs: 1,
         trace_dir: None,
+        tuned_config: None,
     };
     for name in ["fig15", "fig16"] {
         multicore.bench_function(name, |b| {

@@ -28,6 +28,7 @@ pub fn bench_options() -> athena_harness::RunOptions {
         workload_limit: Some(4),
         jobs: 1,
         trace_dir: None,
+        tuned_config: None,
     }
 }
 

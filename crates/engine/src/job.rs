@@ -198,6 +198,18 @@ impl Job {
         self
     }
 
+    /// Returns a copy of this job running an explicit Athena configuration
+    /// ([`CoordinatorKind::AthenaWith`]) in place of its coordinator, with the seed
+    /// re-derived for the new identity. This is the design-space explorer's primitive: one
+    /// template job per workload, overridden once per candidate configuration, so every
+    /// candidate cell inherits the template's workload reference (including trace-file
+    /// substitution) without re-running the enumeration logic.
+    pub fn with_athena_config(mut self, config: athena_core::AthenaConfig) -> Self {
+        self.coordinator = CoordinatorKind::AthenaWith(config);
+        self.seed = self.derive_seed();
+        self
+    }
+
     /// Returns a copy that collects a windowed timeline with the given window length
     /// (see [`TelemetrySpec`]; the seed is untouched on purpose).
     pub fn with_telemetry(mut self, window_instructions: u64) -> Self {
@@ -397,6 +409,10 @@ pub struct RunResult {
     pub ipc: f64,
     /// Whole-run simulator statistics.
     pub stats: athena_sim::SimStats,
+    /// End-of-run DRAM-channel statistics (per-kind request counts, row-buffer behaviour,
+    /// bus occupancy). Tuning objectives use these to penalise bandwidth-hungry
+    /// configurations; the per-cell JSON records carry them too.
+    pub dram: athena_sim::DramStats,
     /// Per-epoch telemetry (kept for phase-level analyses).
     pub epochs: Vec<athena_sim::EpochStats>,
     /// The windowed time series, present when the job requested telemetry
@@ -412,6 +428,7 @@ impl RunResult {
             cycles: r.cycles,
             ipc: r.ipc(),
             stats: r.stats,
+            dram: r.dram,
             epochs: r.epochs,
             timeline,
         }
@@ -507,6 +524,33 @@ mod tests {
             10_000,
         );
         assert_ne!(a.seed, e.seed);
+    }
+
+    #[test]
+    fn config_override_re_derives_the_seed_and_keeps_the_cell() {
+        let spec = all_workloads()[0].clone();
+        let template = Job::single("dse", spec, cd1(), CoordinatorKind::PrefetchersOnly, 10_000);
+        let cfg = crate::kinds::default_athena_config().with_hyperparameters(0.3, 0.6, 0.05, 0.12);
+        let overridden = template.clone().with_athena_config(cfg.clone());
+        assert_eq!(overridden.cell, template.cell);
+        assert_eq!(
+            overridden.coordinator,
+            CoordinatorKind::AthenaWith(cfg.clone())
+        );
+        assert_ne!(
+            overridden.seed, template.seed,
+            "a different coordinator is a different identity"
+        );
+        // The override is equivalent to constructing the job directly.
+        let direct = Job::single(
+            "dse",
+            all_workloads()[0].clone(),
+            cd1(),
+            CoordinatorKind::AthenaWith(cfg),
+            10_000,
+        );
+        assert_eq!(overridden.seed, direct.seed);
+        assert_eq!(overridden.label(), direct.label());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! A minimal hand-rolled JSON document model.
 //!
-//! The offline build has no serde, so the engine carries its own ~150-line value type with
-//! a compact `Display` serialiser and a pretty printer. Object keys keep insertion order,
-//! which keeps report files diff-stable across runs.
+//! The offline build has no serde, so the engine carries its own value type with a compact
+//! `Display` serialiser, a pretty printer and — since the tuning subsystem needs to load
+//! configurations back from disk — a small recursive-descent parser ([`Json::parse`]).
+//! Object keys keep insertion order, which keeps report files diff-stable across runs.
 
 use std::fmt;
 
@@ -92,6 +93,322 @@ impl Json {
             }
             other => out.push_str(&other.to_string()),
         }
+    }
+    /// Parses a JSON document.
+    ///
+    /// Supports the full value model this writer emits — objects, arrays, strings (with
+    /// `\uXXXX` escapes, including surrogate pairs), numbers, booleans and `null` — and
+    /// rejects trailing garbage. Numbers are parsed as `f64` via Rust's grammar-compatible
+    /// float parser, so everything the serialiser prints round-trips exactly.
+    pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.error("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    /// Looks up a key in an object (`None` for other variants or missing keys). When a key
+    /// repeats, the first occurrence wins — matching how the writer never emits duplicates.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Decodes a `"0x…"` hex string written by [`Json::hex`] back into a `u64`. Strict:
+    /// only hex digits may follow the prefix (`from_str_radix` alone would also accept a
+    /// sign character).
+    pub fn as_hex_u64(&self) -> Option<u64> {
+        let s = self.as_str()?.strip_prefix("0x")?;
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok()
+    }
+}
+
+/// A JSON parse failure: what went wrong and the byte offset it was noticed at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the input where parsing stopped.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> JsonParseError {
+        JsonParseError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{literal}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_literal("true", Json::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Json::Bool(false)),
+            Some(b'n') => self.eat_literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let unit = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: a \uXXXX low surrogate must follow.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.eat(b'u')?;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return Err(self.error("invalid low surrogate"));
+                                    }
+                                    let cp = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(cp)
+                                        .ok_or_else(|| self.error("invalid surrogate pair"))?
+                                } else {
+                                    return Err(self.error("lone high surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&unit) {
+                                return Err(self.error("lone low surrogate"));
+                            } else {
+                                char::from_u32(unit)
+                                    .ok_or_else(|| self.error("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                            continue; // hex4 already advanced past the digits
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through verbatim: the input is a
+                    // &str, so byte boundaries are already valid.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        // Exactly four hex digits: `from_str_radix` alone would also accept "+041".
+        if !slice.iter().all(|b| b.is_ascii_hexdigit()) {
+            return Err(self.error("invalid \\u escape"));
+        }
+        let s = std::str::from_utf8(slice).map_err(|_| self.error("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits = |p: &mut Self| {
+            let from = p.pos;
+            while matches!(p.peek(), Some(b'0'..=b'9')) {
+                p.pos += 1;
+            }
+            p.pos > from
+        };
+        let int_start = self.pos;
+        if !digits(self) {
+            return Err(self.error("expected digits in number"));
+        }
+        if self.pos - int_start > 1 && self.bytes[int_start] == b'0' {
+            return Err(self.error("leading zeros are not allowed"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !digits(self) {
+                return Err(self.error("expected digits after decimal point"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !digits(self) {
+                return Err(self.error("expected digits in exponent"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.error("number out of range"))
     }
 }
 
@@ -208,6 +525,98 @@ mod tests {
         };
         let parsed = u64::from_str_radix(s.trim_start_matches("0x"), 16).unwrap();
         assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn parse_round_trips_compact_and_pretty() {
+        let doc = Json::obj(vec![
+            ("name", Json::str("fig7")),
+            ("ok", Json::Bool(true)),
+            ("cells", Json::arr(vec![Json::num(1.5), Json::int(2)])),
+            ("none", Json::Null),
+            ("nested", Json::obj(vec![("k", Json::arr(Vec::new()))])),
+        ]);
+        assert_eq!(Json::parse(&doc.to_string()).unwrap(), doc);
+        assert_eq!(Json::parse(&doc.to_pretty()).unwrap(), doc);
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_unicode() {
+        let original = Json::str("a\"b\\c\nd\te\u{1} λ 🦀");
+        assert_eq!(Json::parse(&original.to_string()).unwrap(), original);
+        // Escaped forms the writer never emits still parse.
+        assert_eq!(
+            Json::parse(r#""\u0041\/\ud83e\udd80""#).unwrap(),
+            Json::str("A/🦀")
+        );
+    }
+
+    #[test]
+    fn parse_numbers() {
+        assert_eq!(Json::parse("3").unwrap(), Json::num(3.0));
+        assert_eq!(Json::parse("0").unwrap(), Json::num(0.0));
+        assert_eq!(Json::parse("0.5").unwrap(), Json::num(0.5));
+        assert_eq!(Json::parse("-0").unwrap(), Json::num(-0.0));
+        assert_eq!(Json::parse("-2.25").unwrap(), Json::num(-2.25));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::num(1000.0));
+        assert_eq!(Json::parse("2.5E-2").unwrap(), Json::num(0.025));
+        let shortest = format!("{}", 0.1f64 + 0.2f64);
+        assert_eq!(
+            Json::parse(&shortest).unwrap(),
+            Json::num(0.1 + 0.2),
+            "shortest-round-trip formatting parses back to the same f64"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "truth",
+            "nul",
+            "1.2.3",
+            "\"abc",
+            "{\"a\" 1}",
+            "[1] x",
+            "01x",
+            "01",
+            "-007",
+            "\"\\q\"",
+            "\"\\ud800\"",
+            "\"\\u+041\"",
+            "--1",
+            "1e",
+            "5.",
+        ] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_navigate_documents() {
+        let doc =
+            Json::parse(r#"{"a": {"b": [1, 2]}, "s": "x", "t": true, "h": "0x00000000000000ff"}"#)
+                .unwrap();
+        assert_eq!(
+            doc.get("a")
+                .and_then(|a| a.get("b"))
+                .and_then(|b| b.as_array())
+                .map(<[Json]>::len),
+            Some(2)
+        );
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(doc.get("t").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("h").and_then(Json::as_hex_u64), Some(255));
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(Json::Null.get("a"), None);
+        let hex = Json::hex(u64::MAX - 3);
+        assert_eq!(hex.as_hex_u64(), Some(u64::MAX - 3));
+        // Strictly hex digits after the prefix — no signs, no empty payload.
+        assert_eq!(Json::str("0x+ff").as_hex_u64(), None);
+        assert_eq!(Json::str("0x").as_hex_u64(), None);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::cell::RefCell;
 use std::time::Duration;
 
+use athena_sim::DramStats;
 use athena_telemetry::Timeline;
 
 use crate::exec::CellResult;
@@ -34,6 +35,10 @@ pub struct CellRecord {
     pub wall: Duration,
     /// The panic message, if the cell failed.
     pub error: Option<String>,
+    /// End-of-run DRAM-channel statistics (single-core cells only; `None` for failed or
+    /// multi-core cells). Lets report consumers — tuning objectives, bandwidth figures —
+    /// see the traffic a cell generated, not just its IPC.
+    pub dram: Option<DramStats>,
     /// The cell's windowed time series, when its job requested telemetry (single-core
     /// cells only; `None` otherwise).
     pub timeline: Option<Timeline>,
@@ -53,11 +58,29 @@ impl CellRecord {
         if let Some(e) = &self.error {
             pairs.push(("error", Json::str(e)));
         }
+        if let Some(d) = &self.dram {
+            pairs.push(("dram", dram_json(d)));
+        }
         if let Some(t) = &self.timeline {
             pairs.push(("timeline", timeline_json(t)));
         }
         Json::obj(pairs)
     }
+}
+
+/// Serialises a DRAM-channel snapshot for the per-cell records.
+fn dram_json(d: &DramStats) -> Json {
+    Json::obj(vec![
+        ("total_requests", Json::num(d.total_requests as f64)),
+        ("demand_requests", Json::num(d.demand_requests as f64)),
+        ("prefetch_requests", Json::num(d.prefetch_requests as f64)),
+        ("ocp_requests", Json::num(d.ocp_requests as f64)),
+        ("writeback_requests", Json::num(d.writeback_requests as f64)),
+        ("row_hits", Json::num(d.row_hits as f64)),
+        ("row_misses", Json::num(d.row_misses as f64)),
+        ("bus_busy_cycles", Json::num(d.bus_busy_cycles as f64)),
+        ("demand_latency_sum", Json::num(d.demand_latency_sum as f64)),
+    ])
 }
 
 /// Restores the previous recording scope on unwind, so a panicking closure (e.g. a failed
@@ -108,6 +131,10 @@ pub(crate) fn record_cells(cells: &[CellResult]) {
                 seed: c.seed,
                 wall: c.wall,
                 error: c.output.as_ref().err().cloned(),
+                dram: match &c.output {
+                    Ok(JobOutput::Single(r)) => Some(r.dram),
+                    _ => None,
+                },
                 timeline: match &c.output {
                     Ok(JobOutput::Single(r)) => r.timeline.clone(),
                     _ => None,
@@ -143,7 +170,12 @@ mod tests {
         assert_eq!(cells.len(), 2);
         assert_eq!(cells[0].experiment, "rec-test");
         assert!(cells[0].error.is_none());
-        assert!(cells[0].to_json().to_string().contains("\"ok\":true"));
+        let json = cells[0].to_json().to_string();
+        assert!(json.contains("\"ok\":true"));
+        // Single-core cells carry their DRAM-channel snapshot into the JSON record.
+        let dram = cells[0].dram.expect("single-core cell has DRAM stats");
+        assert!(dram.total_requests > 0);
+        assert!(json.contains("\"dram\":{\"total_requests\":"));
     }
 
     #[test]

@@ -314,6 +314,7 @@ mod tests {
             seed: 7,
             wall: Duration::from_millis(3),
             error: None,
+            dram: None,
             timeline: None,
         }];
         let text = figure_report("fig7", 2, Duration::from_millis(5), &table, &cells).to_string();

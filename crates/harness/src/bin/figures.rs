@@ -53,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
     let mut workload_limit: Option<usize> = None;
     let mut jobs: Option<usize> = None;
     let mut trace_dir: Option<PathBuf> = None;
+    let mut tuned_config: Option<PathBuf> = None;
     let mut out_dir = None;
     let mut json = false;
     let mut bench_report = false;
@@ -111,6 +112,11 @@ fn parse_args() -> Result<Args, String> {
                     args.next().ok_or("--trace-dir needs a value")?,
                 ))
             }
+            "--tuned-config" => {
+                tuned_config = Some(PathBuf::from(
+                    args.next().ok_or("--tuned-config needs a value")?,
+                ))
+            }
             "--out" => out_dir = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
             "--list" => {
                 for n in experiment_names() {
@@ -153,6 +159,13 @@ fn parse_args() -> Result<Args, String> {
             "no experiment selected; use --fig <id>, --all (see --list) or --timeline".to_string(),
         );
     }
+    if figs.iter().any(|f| f == "tuned") && tuned_config.is_none() {
+        return Err("--fig tuned needs --tuned-config <FILE> (written by `tune`)".to_string());
+    }
+    if let Some(path) = &tuned_config {
+        // Fail fast on a bad file, before any simulation time is spent.
+        athena_tune::load_config(path)?;
+    }
     let mut opts = if quick {
         RunOptions::quick()
     } else {
@@ -165,6 +178,7 @@ fn parse_args() -> Result<Args, String> {
         opts.workload_limit = Some(w);
     }
     opts.trace_dir = trace_dir;
+    opts.tuned_config = tuned_config;
     let parallel_jobs = jobs.unwrap_or_else(available_parallelism);
     opts.jobs = parallel_jobs;
     Ok(Args {

@@ -1,0 +1,341 @@
+//! The `tune` CLI: design-space exploration over Athena agent configurations on the
+//! parallel experiment engine.
+//!
+//! ```text
+//! cargo run --release -p athena-harness --bin tune -- --quick --jobs 4
+//! cargo run --release -p athena-harness --bin tune -- --strategy halving --samples 16 --rungs 3
+//! cargo run --release -p athena-harness --bin tune -- --quick --trace-dir traces/
+//! cargo run --release -p athena-harness --bin tune -- --quick --bench-report
+//! ```
+//!
+//! Writes `leaderboard.csv`, `leaderboard.json` (schema `athena-tune-v1`) and `best.json`
+//! (the winning configuration) into `--out` (default `results/tune`); `--bench-report`
+//! drops its `BENCH_tune.json` snapshot next to `BENCH_engine.json` in the working
+//! directory unless `--out` relocates it. The leaderboard is
+//! byte-identical at any `--jobs` value and under `--trace-dir` replay; the winning
+//! configuration, fed back through `figures --fig tuned --tuned-config .../best.json`
+//! with matching options, reproduces its claimed speedup exactly. Run `tune --help` for
+//! the full flag reference (also rendered into `docs/CLI.md`).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use athena_engine::available_parallelism;
+use athena_engine::json::Json;
+use athena_harness::cli::TUNE_HELP as HELP;
+use athena_harness::experiments::tuning_set;
+use athena_harness::RunOptions;
+use athena_tune::{tune, DesignSpace, Leaderboard, Objective, TuneOptions, TuneStrategy};
+
+struct Args {
+    space: DesignSpace,
+    strategy: TuneStrategy,
+    run: RunOptions,
+    tune_opts: TuneOptions,
+    /// `--out`, when given. Leaderboard files default to `results/tune/`; the
+    /// `--bench-report` snapshot defaults to the working directory (`BENCH_tune.json`,
+    /// matching `figures --bench-report`); an explicit `--out` relocates both.
+    out_dir: Option<PathBuf>,
+    top: usize,
+    bench_report: bool,
+    /// The parallel worker count (`--jobs`, or every hardware thread).
+    parallel_jobs: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut quick = false;
+    let mut instructions: Option<u64> = None;
+    let mut workload_limit: Option<usize> = None;
+    let mut jobs: Option<usize> = None;
+    let mut trace_dir: Option<PathBuf> = None;
+    let mut strategy_name = "halving".to_string();
+    let mut samples = 16usize;
+    let mut eta = 2usize;
+    let mut rungs = 3usize;
+    let mut seed: Option<u64> = None;
+    let mut objective = Objective::Speedup;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut top = 10usize;
+    let mut bench_report = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            args.next().ok_or(format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--bench-report" => bench_report = true,
+            "--instructions" => {
+                instructions = Some(
+                    value("--instructions")?
+                        .parse()
+                        .map_err(|e| format!("bad --instructions: {e}"))?,
+                )
+            }
+            "--workloads" => {
+                workload_limit = Some(
+                    value("--workloads")?
+                        .parse()
+                        .map_err(|e| format!("bad --workloads: {e}"))?,
+                )
+            }
+            "--jobs" => {
+                let n: usize = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("bad --jobs: {e}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                jobs = Some(n);
+            }
+            "--trace-dir" => trace_dir = Some(PathBuf::from(value("--trace-dir")?)),
+            "--strategy" => strategy_name = value("--strategy")?,
+            "--samples" => {
+                samples = value("--samples")?
+                    .parse()
+                    .map_err(|e| format!("bad --samples: {e}"))?;
+                if samples == 0 {
+                    return Err("--samples must be at least 1".to_string());
+                }
+            }
+            "--eta" => {
+                eta = value("--eta")?
+                    .parse()
+                    .map_err(|e| format!("bad --eta: {e}"))?
+            }
+            "--rungs" => {
+                rungs = value("--rungs")?
+                    .parse()
+                    .map_err(|e| format!("bad --rungs: {e}"))?
+            }
+            "--seed" => {
+                let text = value("--seed")?;
+                let parsed = match text.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => text.parse(),
+                };
+                seed = Some(parsed.map_err(|e| format!("bad --seed: {e}"))?);
+            }
+            "--objective" => {
+                let name = value("--objective")?;
+                objective = Objective::from_name(&name).ok_or(format!(
+                    "unknown objective '{name}' (speedup, accuracy-weighted, \
+                     coverage-weighted, bandwidth-aware)"
+                ))?;
+            }
+            "--out" => out_dir = Some(PathBuf::from(value("--out")?)),
+            "--top" => {
+                top = value("--top")?
+                    .parse()
+                    .map_err(|e| format!("bad --top: {e}"))?
+            }
+            "--version" => {
+                println!("tune {}", env!("CARGO_PKG_VERSION"));
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+
+    let mut run = if quick {
+        RunOptions::quick()
+    } else {
+        RunOptions::full()
+    };
+    if let Some(i) = instructions {
+        run.instructions = i;
+    }
+    if let Some(w) = workload_limit {
+        run.workload_limit = Some(w);
+    }
+    run.trace_dir = trace_dir;
+    let parallel_jobs = jobs.unwrap_or_else(available_parallelism);
+    run.jobs = parallel_jobs;
+
+    let space = if quick {
+        DesignSpace::quick()
+    } else {
+        DesignSpace::paper_default()
+    };
+    let strategy = match strategy_name.as_str() {
+        "halving" => TuneStrategy::Halving {
+            samples,
+            eta,
+            rungs,
+        },
+        "random" => TuneStrategy::Random { samples },
+        other => return Err(format!("unknown strategy '{other}' (halving, random)")),
+    };
+    let mut tune_opts = TuneOptions::new(run.instructions)
+        .with_jobs(run.jobs)
+        .with_objective(objective);
+    if let Some(s) = seed {
+        tune_opts = tune_opts.with_seed(s);
+    }
+    if let Some(dir) = &run.trace_dir {
+        tune_opts = tune_opts.with_trace_dir(dir.clone());
+    }
+    Ok(Args {
+        space,
+        strategy,
+        run,
+        tune_opts,
+        out_dir,
+        top,
+        bench_report,
+        parallel_jobs,
+    })
+}
+
+fn write_file(path: &std::path::Path, contents: &str) {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: cannot create {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", path.display());
+}
+
+fn print_summary(board: &Leaderboard, top: usize) {
+    println!(
+        "objective {} over {} workloads; schedule: {}",
+        board.objective.name(),
+        board.workloads.len(),
+        board
+            .rungs
+            .iter()
+            .map(|r| format!("{}x{}", r.candidates, r.budget))
+            .collect::<Vec<String>>()
+            .join(" -> "),
+    );
+    println!("rank  objective   speedup   budget configuration");
+    for (rank, e) in board.entries.iter().take(top).enumerate() {
+        let features: Vec<&str> = e.config.features.iter().map(|f| f.short_name()).collect();
+        println!(
+            "{:<5} {:>9.4} {:>9.4} {:>8} a{} g{} e{} t{} [{}]",
+            rank + 1,
+            e.objective,
+            e.speedup,
+            e.budget,
+            e.config.alpha,
+            e.config.gamma,
+            e.config.epsilon,
+            e.config.tau,
+            features.join("+"),
+        );
+    }
+    let best = board.best();
+    println!(
+        "best: candidate {} with {} {:.4} (speedup {:.4}) after {} evaluations",
+        best.id,
+        board.objective.name(),
+        best.objective,
+        best.speedup,
+        board.evaluations,
+    );
+}
+
+/// `--bench-report`: the same search at `--jobs 1` and at the parallel worker count, a
+/// byte-identity check between the two leaderboards, and a `BENCH_tune.json` snapshot.
+fn run_bench_report(args: &Args, board: &Leaderboard, parallel_wall: std::time::Duration) {
+    let serial_opts = args.tune_opts.clone().with_jobs(1);
+    let start = Instant::now();
+    let serial = tune(
+        &args.space,
+        &args.strategy,
+        &tuning_set(&args.run),
+        &serial_opts,
+    );
+    let serial_wall = start.elapsed();
+    let identical = serial.to_csv() == board.to_csv()
+        && serial.to_json().to_string() == board.to_json().to_string();
+    let speedup = serial_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9);
+    println!(
+        "bench: serial {serial_wall:.1?}, parallel {parallel_wall:.1?} ({} jobs), \
+         speedup {speedup:.2}x, identical: {identical}",
+        args.parallel_jobs
+    );
+    if !identical {
+        eprintln!("error: parallel leaderboard diverged from the serial run");
+        std::process::exit(1);
+    }
+    let host = available_parallelism();
+    let mut pairs = vec![
+        ("schema", Json::str("athena-tune-bench-v1")),
+        ("jobs", Json::int(args.parallel_jobs)),
+        ("host_parallelism", Json::int(host)),
+    ];
+    if host < 4 {
+        pairs.push((
+            "note",
+            Json::str(format!(
+                "measured on a {host}-thread host: parallel speedup needs hardware \
+                 parallelism; determinism (identical leaderboards) is the asserted \
+                 property here and in tests/tune_determinism.rs"
+            )),
+        ));
+    }
+    pairs.extend(vec![
+        ("instructions", Json::num(board.instructions as f64)),
+        ("workloads", Json::int(board.workloads.len())),
+        ("candidates", Json::int(board.entries.len())),
+        ("evaluations", Json::int(board.evaluations)),
+        ("serial_ms", Json::num(serial_wall.as_secs_f64() * 1e3)),
+        ("parallel_ms", Json::num(parallel_wall.as_secs_f64() * 1e3)),
+        ("speedup", Json::num(speedup)),
+        ("identical_to_serial", Json::Bool(identical)),
+    ]);
+    write_file(
+        // An explicit --out relocates the snapshot; by default it lands in the working
+        // directory, next to BENCH_engine.json (so the committed root copy regenerates
+        // from the README's `tune --quick --bench-report` as-is).
+        &match &args.out_dir {
+            Some(dir) => dir.join("BENCH_tune.json"),
+            None => PathBuf::from("BENCH_tune.json"),
+        },
+        &Json::obj(pairs).to_pretty(),
+    );
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let workloads = tuning_set(&args.run);
+    let start = Instant::now();
+    let board = tune(&args.space, &args.strategy, &workloads, &args.tune_opts);
+    let wall = start.elapsed();
+    print_summary(&board, args.top);
+    println!(
+        "[tune completed in {wall:.1?} with {} jobs: {} candidates, {} evaluations]\n",
+        args.run.jobs,
+        board.entries.len(),
+        board.evaluations
+    );
+    let dir = args
+        .out_dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("results/tune"));
+    write_file(&dir.join("leaderboard.csv"), &board.to_csv());
+    write_file(&dir.join("leaderboard.json"), &board.to_json().to_pretty());
+    write_file(&dir.join("best.json"), &board.best_json().to_pretty());
+    if args.bench_report {
+        run_bench_report(&args, &board, wall);
+    }
+}

@@ -14,7 +14,8 @@ usage: figures [--fig <id>]... [--all] [options]
        figures --timeline [options]
 
 experiment selection:
-  --fig <id>          run one experiment (repeatable); ids are fig1..fig21, tab3, tab4
+  --fig <id>          run one experiment (repeatable); ids are fig1..fig21, tab3, tab4,
+                      plus 'tuned' (needs --tuned-config; never selected by --all)
   --all               run every experiment
   --list              print the experiment ids and exit
 
@@ -28,6 +29,13 @@ run options:
   --trace-dir <DIR>   replay recorded traces from DIR (written by `trace record`):
                       single-core cells with a <workload>.trace file there replay it,
                       reproducing the generated results byte-for-byte; others generate
+  --tuned-config <F>  load a tuned Athena configuration from file F (best.json as
+                      written by `tune`, or a bare config object). Enables the 'tuned'
+                      experiment (which re-measures the configuration against
+                      prefetchers-only on the tuning workloads — with matching
+                      --instructions/--workloads its overall speedup equals the
+                      leaderboard's claim exactly) and adds a 'tuned' policy to
+                      --timeline
 
 output:
   --out <DIR>         write one <fig>.csv per experiment into DIR (and relocate the other
@@ -97,6 +105,59 @@ misc:
   --version            print the workspace version and exit
   --help, -h           print this help and exit";
 
+/// `tune --help`.
+pub const TUNE_HELP: &str = "\
+tune — explore the Athena agent's design space (hyperparameters, reward weights,
+       feature sets) on the parallel experiment engine
+
+usage: tune [options]
+
+search space & strategy:
+  --strategy <S>       'halving' (default): screen candidates on a short instruction
+                       budget and promote the best 1/eta to an eta-times-longer budget,
+                       repeating until the survivors have run the full budget;
+                       'random': evaluate every sampled candidate at the full budget
+  --samples <N>        candidates entering the search (default 16; when the space's full
+                       grid is no larger than N, the grid is enumerated instead of
+                       sampled)
+  --eta <N>            halving promotion factor (default 2; min 2)
+  --rungs <N>          halving budget rungs (default 3; the last rung always runs the
+                       full --instructions budget)
+  --seed <N>           candidate-sampling seed (default 0xd5e); never seeds the
+                       simulations themselves
+  --objective <O>      scoring rule: speedup (default; geomean IPC speedup over
+                       prefetchers-only), accuracy-weighted, coverage-weighted, or
+                       bandwidth-aware (penalises DRAM traffic beyond the baseline's)
+
+run options:
+  --quick              reduced preset: 40 K instructions, 12 tuning workloads, and the
+                       small fully-enumerable quick space (6 candidates) instead of the
+                       paper-style space (default preset: 400 K instructions, all 20
+                       held-out tuning workloads)
+  --instructions <N>   final-rung instructions per workload (overrides the preset)
+  --workloads <N>      cap the tuning-workload count (min 4)
+  --jobs <N>           engine worker count (default: every hardware thread); the
+                       leaderboard is byte-identical at any value
+  --trace-dir <DIR>    replay recorded traces from DIR (record them with
+                       `trace record --tuning`); identical leaderboard bytes to the
+                       generated run
+
+output:
+  --out <DIR>          output directory (default results/tune): leaderboard.csv +
+                       leaderboard.json (schema athena-tune-v1) and best.json (the
+                       winning configuration; feed it back via `figures --fig tuned
+                       --tuned-config <DIR>/best.json`, which reproduces the claimed
+                       speedup exactly under matching options)
+  --top <N>            rows of the leaderboard to print (default 10)
+  --bench-report       additionally time the search at --jobs 1 vs the parallel worker
+                       count, verify both leaderboards match byte-for-byte, and write
+                       the BENCH_tune.json snapshot (into --out DIR when given,
+                       otherwise the working directory, next to BENCH_engine.json)
+
+misc:
+  --version            print the workspace version and exit
+  --help, -h           print this help and exit";
+
 /// Renders `docs/CLI.md` from the help constants above.
 pub fn cli_reference() -> String {
     format!(
@@ -106,7 +167,8 @@ pub fn cli_reference() -> String {
          it and fails if the committed copy drifts. Edit\n\
          `crates/harness/src/cli.rs`, not this file.\n\n\
          ## `figures`\n\n```text\n{FIGURES_HELP}\n```\n\n\
-         ## `trace`\n\n```text\n{TRACE_HELP}\n```\n"
+         ## `trace`\n\n```text\n{TRACE_HELP}\n```\n\n\
+         ## `tune`\n\n```text\n{TUNE_HELP}\n```\n"
     )
 }
 
@@ -115,10 +177,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn reference_embeds_both_help_texts() {
+    fn reference_embeds_every_help_text() {
         let doc = cli_reference();
         assert!(doc.contains(FIGURES_HELP));
         assert!(doc.contains(TRACE_HELP));
+        assert!(doc.contains(TUNE_HELP));
         assert!(doc.starts_with("# CLI reference"));
         assert!(doc.ends_with("```\n"));
     }
@@ -128,5 +191,13 @@ mod tests {
         assert!(FIGURES_HELP.contains("--timeline"));
         assert!(FIGURES_HELP.contains("--window"));
         assert!(TRACE_HELP.contains("record"));
+    }
+
+    #[test]
+    fn help_texts_document_the_tuning_subsystem() {
+        assert!(FIGURES_HELP.contains("--tuned-config"));
+        for flag in ["--strategy", "--samples", "--objective", "--bench-report"] {
+            assert!(TUNE_HELP.contains(flag), "missing {flag}");
+        }
     }
 }

@@ -69,6 +69,19 @@ pub fn workload_set(opts: &RunOptions) -> Vec<WorkloadSpec> {
     w
 }
 
+/// The held-out tuning-workload sample an experiment (or the `tune` CLI) runs on under
+/// `opts` — the 20 tuning workloads, truncated to at least 4 by
+/// [`RunOptions::workload_limit`]. Shared by `tab3`, the `tuned` experiment and the
+/// `athena-tune` CLI so a tuned configuration's claimed scores are measured on exactly
+/// the workload set a later `figures --fig tuned` re-measures.
+pub fn tuning_set(opts: &RunOptions) -> Vec<WorkloadSpec> {
+    let mut specs = tuning_workloads();
+    if let Some(limit) = opts.workload_limit {
+        specs.truncate(limit.max(4));
+    }
+    specs
+}
+
 /// One engine job for one single-core cell, honouring [`RunOptions::trace_dir`]: when the
 /// options name a trace directory containing `<workload-name>.trace`, the cell replays
 /// that recorded file (same workload name, so same derived seed and label as the
@@ -1093,10 +1106,7 @@ pub fn fig21(opts: &RunOptions) -> ExperimentTable {
 /// workloads. The grid is coarser than the paper's (which sweeps in steps of 0.1) so the
 /// experiment completes in minutes; the selected point is reported per row.
 pub fn tab3_dse(opts: &RunOptions) -> ExperimentTable {
-    let mut specs = tuning_workloads();
-    if let Some(limit) = opts.workload_limit {
-        specs.truncate(limit.max(4));
-    }
+    let specs = tuning_set(opts);
     let config = cd1();
     let mut table = ExperimentTable::new(
         "Table 3 (reduced grid): hyperparameter search on the tuning workloads",
@@ -1161,7 +1171,78 @@ pub fn tab4_storage(_opts: &RunOptions) -> ExperimentTable {
     table
 }
 
+/// The `tuned` experiment: re-measures a file-loaded tuned configuration
+/// ([`RunOptions::tuned_config`], written by the `tune` CLI) against the
+/// prefetchers-only baseline on the tuning workload set.
+///
+/// The per-workload rows and the `overall` speedup row are computed through the same
+/// scoring path the tuner uses (`athena_tune::Objective::Speedup` over the same
+/// [`tuning_set`], at [`RunOptions::instructions`]), so with matching options the
+/// `overall` speedup equals the leaderboard's claimed speedup bit for bit.
+///
+/// # Panics
+///
+/// Panics when no configuration file is set or it cannot be loaded; the `figures` CLI
+/// validates the flag before dispatching here.
+pub fn tuned(opts: &RunOptions) -> ExperimentTable {
+    let path = opts
+        .tuned_config
+        .as_ref()
+        .expect("the 'tuned' experiment needs a configuration file (--tuned-config)");
+    let cfg = athena_tune::load_config(path).unwrap_or_else(|e| panic!("{e}"));
+    let specs = tuning_set(opts);
+    let config = cd1();
+
+    let mut jobs = single_jobs(
+        "tuned",
+        &specs,
+        &config,
+        &CoordinatorKind::PrefetchersOnly,
+        opts,
+    );
+    jobs.extend(single_jobs(
+        "tuned",
+        &specs,
+        &config,
+        &CoordinatorKind::AthenaWith(cfg),
+        opts,
+    ));
+    let mut results = run_batch(jobs, opts).into_iter();
+    let baselines: Vec<RunResult> = results.by_ref().take(specs.len()).collect();
+    let runs: Vec<RunResult> = results.collect();
+
+    let mut table = ExperimentTable::new(
+        "Tuned Athena configuration vs prefetchers-only (CD1, tuning workloads)",
+        "workload",
+        vec![
+            "tuned-ipc".into(),
+            "prefetchers-only-ipc".into(),
+            "speedup".into(),
+        ],
+    );
+    for ((spec, run), base) in specs.iter().zip(&runs).zip(&baselines) {
+        table.push_row(
+            spec.name.clone(),
+            vec![run.ipc, base.ipc, run.ipc / base.ipc.max(1e-12)],
+        );
+    }
+    table.push_row(
+        "overall",
+        vec![
+            geomean(&runs.iter().map(|r| r.ipc).collect::<Vec<f64>>()),
+            geomean(&baselines.iter().map(|r| r.ipc).collect::<Vec<f64>>()),
+            // The tuner's exact scoring path: this is the leaderboard's claimed speedup.
+            athena_tune::Objective::Speedup.score_set(&runs, &baselines),
+        ],
+    );
+    table
+}
+
 /// Every experiment, keyed by the identifier the `figures` CLI accepts.
+///
+/// The `tuned` experiment is deliberately absent: it needs a configuration file
+/// ([`RunOptions::tuned_config`]), so `--all` must not select it implicitly. It is still
+/// dispatched by [`run_experiment`] when asked for by name.
 pub fn experiment_names() -> Vec<&'static str> {
     vec![
         "fig1", "fig2", "fig3", "fig4", "fig7", "fig8a", "fig8b", "fig9", "fig10", "fig11",
@@ -1173,9 +1254,11 @@ pub fn experiment_names() -> Vec<&'static str> {
 /// Runs the experiment with the given identifier.
 ///
 /// Returns `None` if the identifier is unknown. Identifiers are those listed by
-/// [`experiment_names`].
+/// [`experiment_names`], plus `tuned` (which additionally needs
+/// [`RunOptions::tuned_config`]).
 pub fn run_experiment(name: &str, opts: &RunOptions) -> Option<ExperimentTable> {
     let table = match name {
+        "tuned" => tuned(opts),
         "fig1" => fig1(opts),
         "fig2" => fig2(opts),
         "fig3" => fig3(opts),
@@ -1216,6 +1299,7 @@ mod tests {
             workload_limit: Some(4),
             jobs: 2,
             trace_dir: None,
+            tuned_config: None,
         }
     }
 

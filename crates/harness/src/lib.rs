@@ -18,7 +18,11 @@
 //! * the `trace` binary — records workloads to on-disk trace files (`trace record --quick
 //!   --out traces/`), inspects them (`trace info` / `trace stats`) and converts between
 //!   the binary and text formats (`trace convert`); recorded directories replay through
-//!   `figures --trace-dir`, reproducing the generated tables byte-for-byte.
+//!   `figures --trace-dir`, reproducing the generated tables byte-for-byte;
+//! * the `tune` binary — design-space exploration over Athena configurations
+//!   (`athena-tune`, re-exported here as [`tune`]): seeded random search or successive
+//!   halving on the engine, deterministic leaderboards, and a winning configuration that
+//!   `figures --fig tuned --tuned-config` re-measures exactly.
 //!
 //! ```no_run
 //! use athena_harness::{simulate, CoordinatorKind, OcpKind, PrefetcherKind, SystemConfig};
@@ -39,19 +43,16 @@ mod run;
 pub mod timeline;
 
 pub use athena_engine::ExperimentTable;
+pub use athena_tune as tune;
 pub use run::{
     simulate, simulate_multicore, CoordinatorKind, OcpKind, PrefetcherKind, RunOptions, RunResult,
     SystemConfig,
 };
 
-/// Geometric mean of a slice of positive values; returns 1.0 for an empty slice.
-pub fn geomean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        return 1.0;
-    }
-    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
-    (log_sum / values.len() as f64).exp()
-}
+// One geomean for the whole workspace: the experiments aggregate through the exact same
+// function the tuner scores with, which is part of why a tuned configuration's replayed
+// speedup matches its leaderboard claim bit for bit.
+pub use athena_tune::geomean;
 
 #[cfg(test)]
 mod tests {

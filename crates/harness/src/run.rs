@@ -45,6 +45,12 @@ pub struct RunOptions {
     /// generator reproduces the generated cell's results byte for byte (locked in by
     /// `tests/trace_roundtrip.rs`).
     pub trace_dir: Option<PathBuf>,
+    /// Optional tuned Athena configuration file (the `--tuned-config` flag), as written
+    /// by the `tune` CLI (`best.json` or a bare config object). When set, the `tuned`
+    /// experiment and the timeline study run a `tuned` policy loaded from this file; a
+    /// configuration produced by `tune` on the same options reproduces its leaderboard
+    /// speedup exactly (locked in by `tests/tune_determinism.rs`).
+    pub tuned_config: Option<PathBuf>,
 }
 
 impl RunOptions {
@@ -57,6 +63,7 @@ impl RunOptions {
             workload_limit: None,
             jobs: 1,
             trace_dir: None,
+            tuned_config: None,
         }
     }
 
@@ -67,6 +74,7 @@ impl RunOptions {
             workload_limit: Some(12),
             jobs: 1,
             trace_dir: None,
+            tuned_config: None,
         }
     }
 
@@ -80,6 +88,13 @@ impl RunOptions {
     /// [`RunOptions::trace_dir`]).
     pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.trace_dir = Some(dir.into());
+        self
+    }
+
+    /// Returns a copy running the `tuned` policy from the given configuration file (see
+    /// [`RunOptions::tuned_config`]).
+    pub fn with_tuned_config(mut self, path: impl Into<PathBuf>) -> Self {
+        self.tuned_config = Some(path.into());
         self
     }
 }

@@ -67,11 +67,22 @@ const CURVE_COLUMNS: [&str; 8] = [
 ];
 
 /// Runs the study on the engine (`opts.jobs` workers, `opts.trace_dir` honoured exactly
-/// like the figure experiments).
+/// like the figure experiments). When [`RunOptions::tuned_config`] names a configuration
+/// file (written by the `tune` CLI), a `tuned` policy running that file-loaded
+/// configuration joins the tracked policies, so its learning curve can be compared
+/// against the default agent's.
+///
+/// # Panics
+///
+/// Panics if the tuned configuration file cannot be loaded (the CLI validates first).
 pub fn timeline_study(opts: &RunOptions, window_instructions: u64) -> TimelineStudy {
     let specs = workload_set(opts);
     let config = SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet);
-    let coordinators = timeline_coordinators();
+    let mut coordinators = timeline_coordinators();
+    if let Some(path) = &opts.tuned_config {
+        let cfg = athena_tune::load_config(path).unwrap_or_else(|e| panic!("{e}"));
+        coordinators.push(("tuned", CoordinatorKind::AthenaWith(cfg)));
+    }
 
     let mut jobs: Vec<Job> = Vec::new();
     for (_, kind) in &coordinators {
@@ -146,6 +157,7 @@ mod tests {
             workload_limit: Some(3),
             jobs: 2,
             trace_dir: None,
+            tuned_config: None,
         }
     }
 
@@ -175,5 +187,32 @@ mod tests {
             .iter()
             .filter(|c| c.coordinator == "naive")
             .all(|c| c.timeline.windows.iter().all(|w| w.agent.is_none())));
+    }
+
+    #[test]
+    fn a_tuned_config_file_joins_the_tracked_policies() {
+        let dir =
+            std::env::temp_dir().join(format!("athena-timeline-tuned-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tuned.json");
+        let cfg = athena_engine::default_athena_config().with_hyperparameters(0.3, 0.6, 0.05, 0.12);
+        std::fs::write(&path, athena_tune::config_to_json(&cfg).to_pretty()).unwrap();
+
+        let mut opts = tiny();
+        opts.workload_limit = Some(2);
+        opts.tuned_config = Some(path);
+        let study = timeline_study(&opts, 4096);
+        assert_eq!(study.cells.len(), 2 * (timeline_coordinators().len() + 1));
+        assert!(study.curves.rows.iter().any(|(name, _)| name == "tuned"));
+        // The tuned policy is a learning agent: its cells carry snapshots too.
+        assert!(study
+            .cells
+            .iter()
+            .filter(|c| c.coordinator == "tuned")
+            .all(|c| c.timeline.windows.iter().all(|w| w.agent.is_some())));
+        std::fs::remove_dir_all(
+            std::env::temp_dir().join(format!("athena-timeline-tuned-{}", std::process::id())),
+        )
+        .ok();
     }
 }

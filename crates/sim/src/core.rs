@@ -13,6 +13,7 @@ use std::collections::VecDeque;
 
 use crate::branch::GsharePredictor;
 use crate::config::SimConfig;
+use crate::dram::DramStats;
 use crate::hierarchy::MemoryHierarchy;
 use crate::stats::{EpochStats, SimStats};
 use crate::trace::{InstrKind, TraceRecord, TraceSource};
@@ -27,6 +28,11 @@ pub struct SimResult {
     pub cycles: u64,
     /// Whole-run aggregate statistics.
     pub stats: SimStats,
+    /// End-of-run DRAM-channel statistics (row-buffer behaviour, bus occupancy, per-kind
+    /// request counts, demand latency sum). For a multi-core run every core reports the
+    /// *shared* channel's totals, since there is one channel; single-core runs report
+    /// their private channel.
+    pub dram: DramStats,
     /// Telemetry of every epoch, in order. Useful for phase-level analysis and the
     /// case-study experiments.
     pub epochs: Vec<EpochStats>,
@@ -239,6 +245,7 @@ impl CoreEngine {
             instructions: self.retired,
             cycles: self.last_retire,
             stats: self.stats,
+            dram: hierarchy.dram_stats(),
             epochs: self.epochs,
             agent_epochs: self.agent_epochs,
         }

@@ -54,7 +54,7 @@ pub use branch::GsharePredictor;
 pub use cache::{Cache, CacheConfig, CacheLevel, EvictedLine, LookupOutcome, Replacement};
 pub use config::{CoreConfig, DramConfig, SimConfig};
 pub use core::{CoreEngine, SimResult, Simulator};
-pub use dram::{Dram, DramRequestKind};
+pub use dram::{Dram, DramRequestKind, DramStats};
 pub use hierarchy::{LoadOutcome, MemoryHierarchy};
 pub use multicore::{MultiCoreResult, MultiCoreSimulator};
 pub use stats::{EpochStats, SimStats};

@@ -1,0 +1,197 @@
+//! On-disk round-tripping of [`AthenaConfig`].
+//!
+//! The winning configuration of a tuning run is written as JSON and later loaded by the
+//! `figures`/`timeline` harness as the `tuned` policy. Fidelity is exact: floats are
+//! serialised with Rust's shortest-round-trip formatting (which the engine's JSON parser
+//! reads back to the identical `f64`) and the agent seed travels as a lossless hex
+//! string — so the loaded configuration compares equal to the explored one, field for
+//! field, and reproduces its leaderboard numbers bit for bit.
+
+use std::path::Path;
+
+use athena_core::{AthenaConfig, Feature, RewardWeights};
+use athena_engine::json::Json;
+
+/// Serialises a configuration as a JSON object.
+pub fn config_to_json(cfg: &AthenaConfig) -> Json {
+    Json::obj(vec![
+        ("alpha", Json::num(cfg.alpha)),
+        ("gamma", Json::num(cfg.gamma)),
+        ("epsilon", Json::num(cfg.epsilon)),
+        ("tau", Json::num(cfg.tau)),
+        (
+            "features",
+            Json::arr(
+                cfg.features
+                    .iter()
+                    .map(|f| Json::str(f.short_name()))
+                    .collect(),
+            ),
+        ),
+        (
+            "reward_weights",
+            Json::arr(
+                cfg.reward_weights
+                    .as_array()
+                    .iter()
+                    .map(|&w| Json::num(w))
+                    .collect(),
+            ),
+        ),
+        (
+            "use_uncorrelated_reward",
+            Json::Bool(cfg.use_uncorrelated_reward),
+        ),
+        ("planes", Json::int(cfg.planes)),
+        ("rows_per_plane", Json::int(cfg.rows_per_plane)),
+        ("q_step", Json::num(cfg.q_step)),
+        ("seed", Json::hex(cfg.seed)),
+    ])
+}
+
+fn field<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, String> {
+    doc.get(key).ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn num_field(doc: &Json, key: &str) -> Result<f64, String> {
+    field(doc, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field '{key}' is not a number"))
+}
+
+/// Deserialises a configuration from a JSON object produced by [`config_to_json`].
+///
+/// Accepts either the bare configuration object or any document wrapping one under a
+/// `"config"` key (e.g. the `best.json` the tune CLI writes, which carries the claimed
+/// scores alongside).
+pub fn config_from_json(doc: &Json) -> Result<AthenaConfig, String> {
+    let doc = doc.get("config").unwrap_or(doc);
+    let features = field(doc, "features")?
+        .as_array()
+        .ok_or("field 'features' is not an array")?
+        .iter()
+        .map(|f| {
+            let name = f.as_str().ok_or("feature names must be strings")?;
+            Feature::from_short_name(name).ok_or_else(|| format!("unknown feature '{name}'"))
+        })
+        .collect::<Result<Vec<Feature>, String>>()?;
+    let weights = field(doc, "reward_weights")?
+        .as_array()
+        .ok_or("field 'reward_weights' is not an array")?;
+    if weights.len() != 5 {
+        return Err(format!(
+            "reward_weights must hold 5 values, found {}",
+            weights.len()
+        ));
+    }
+    let mut lambda = [0.0; 5];
+    for (slot, w) in lambda.iter_mut().zip(weights) {
+        *slot = w.as_f64().ok_or("reward weights must be numbers")?;
+    }
+    Ok(AthenaConfig {
+        alpha: num_field(doc, "alpha")?,
+        gamma: num_field(doc, "gamma")?,
+        epsilon: num_field(doc, "epsilon")?,
+        tau: num_field(doc, "tau")?,
+        features,
+        reward_weights: RewardWeights::from_array(lambda),
+        use_uncorrelated_reward: field(doc, "use_uncorrelated_reward")?
+            .as_bool()
+            .ok_or("field 'use_uncorrelated_reward' is not a boolean")?,
+        planes: num_field(doc, "planes")? as usize,
+        rows_per_plane: num_field(doc, "rows_per_plane")? as usize,
+        q_step: num_field(doc, "q_step")?,
+        seed: field(doc, "seed")?
+            .as_hex_u64()
+            .ok_or("field 'seed' is not a \"0x…\" hex string")?,
+    })
+}
+
+/// Loads a configuration from a JSON file (bare or `"config"`-wrapped; see
+/// [`config_from_json`]).
+pub fn load_config(path: impl AsRef<Path>) -> Result<AthenaConfig, String> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read '{}': {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("cannot parse '{}': {e}", path.display()))?;
+    config_from_json(&doc).map_err(|e| format!("invalid config in '{}': {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exotic_config() -> AthenaConfig {
+        AthenaConfig {
+            alpha: 0.30000000000000004, // deliberately not shortest-decimal-friendly
+            gamma: 1.0 / 3.0,
+            epsilon: 0.05,
+            tau: 0.12,
+            features: vec![Feature::CachePollution, Feature::OcpBandwidthShare],
+            reward_weights: RewardWeights::from_array([1.6, 0.1, 0.2, 0.6, 1.0]),
+            use_uncorrelated_reward: false,
+            planes: 4,
+            rows_per_plane: 32,
+            q_step: 0.025,
+            seed: u64::MAX - 17,
+        }
+    }
+
+    #[test]
+    fn configs_round_trip_exactly() {
+        for cfg in [
+            AthenaConfig::default(),
+            AthenaConfig::stateless(),
+            athena_engine::default_athena_config(),
+            exotic_config(),
+        ] {
+            let doc = config_to_json(&cfg);
+            let parsed = config_from_json(&Json::parse(&doc.to_pretty()).unwrap()).unwrap();
+            assert_eq!(parsed, cfg);
+        }
+    }
+
+    #[test]
+    fn wrapped_documents_are_accepted() {
+        let cfg = exotic_config();
+        let wrapped = Json::obj(vec![
+            ("schema", Json::str("athena-tune-config-v1")),
+            ("speedup", Json::num(1.23)),
+            ("config", config_to_json(&cfg)),
+        ]);
+        assert_eq!(config_from_json(&wrapped).unwrap(), cfg);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_field_names() {
+        let mut doc = config_to_json(&AthenaConfig::default());
+        let Json::Obj(pairs) = &mut doc else {
+            unreachable!()
+        };
+        pairs.retain(|(k, _)| k != "tau");
+        let err = config_from_json(&doc).unwrap_err();
+        assert!(err.contains("tau"), "{err}");
+
+        let bad_feature = Json::parse(
+            &config_to_json(&AthenaConfig::default())
+                .to_string()
+                .replace("\"PA\"", "\"XX\""),
+        )
+        .unwrap();
+        assert!(config_from_json(&bad_feature)
+            .unwrap_err()
+            .contains("unknown feature"));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("athena-tune-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cfg.json");
+        let cfg = exotic_config();
+        std::fs::write(&path, config_to_json(&cfg).to_pretty()).unwrap();
+        assert_eq!(load_config(&path).unwrap(), cfg);
+        std::fs::remove_file(&path).unwrap();
+        assert!(load_config(&path).unwrap_err().contains("cannot read"));
+    }
+}

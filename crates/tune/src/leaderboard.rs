@@ -1,0 +1,251 @@
+//! Ranked tuning results and their deterministic CSV/JSON serialisations
+//! (schema `athena-tune-v1`).
+
+use athena_core::AthenaConfig;
+use athena_engine::json::Json;
+
+use crate::config_io::config_to_json;
+use crate::objective::Objective;
+use crate::search::Rung;
+
+/// One candidate's final standing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateResult {
+    /// Stable candidate id (its index in the initial draw; the ultimate tiebreaker).
+    pub id: usize,
+    /// The configuration evaluated.
+    pub config: AthenaConfig,
+    /// Index of the last rung this candidate was evaluated in.
+    pub rung: usize,
+    /// Instruction budget of that last evaluation.
+    pub budget: u64,
+    /// Objective score at that budget (the ranking key).
+    pub objective: f64,
+    /// Plain geomean IPC speedup over prefetchers-only at that budget — the number a
+    /// file-loaded `tuned` policy reproduces through `figures`.
+    pub speedup: f64,
+    /// Prefetcher accuracy over the workload set (counter sums, not averaged averages).
+    pub prefetch_accuracy: f64,
+    /// Prefetch coverage over the workload set.
+    pub prefetch_coverage: f64,
+    /// Total DRAM requests relative to the baseline runs (>1 means extra traffic).
+    pub dram_ratio: f64,
+}
+
+/// A ranked tuning run: every candidate, best first, plus the evidence it ran on.
+///
+/// Contains no wall-clock and no scheduling state, so serialising it is byte-identical
+/// at any `--jobs` value and under `--trace-dir` replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Leaderboard {
+    /// The scoring rule candidates were ranked by.
+    pub objective: Objective,
+    /// The final-rung instruction budget the leaderboard's scores are measured at.
+    pub instructions: u64,
+    /// The workload names scored over, in evaluation order.
+    pub workloads: Vec<String>,
+    /// The executed schedule (a single rung for random search).
+    pub rungs: Vec<Rung>,
+    /// Total candidate×workload simulations executed (baselines excluded).
+    pub evaluations: usize,
+    /// Every candidate, ranked: later rung first, then objective, then id.
+    pub entries: Vec<CandidateResult>,
+}
+
+impl Leaderboard {
+    /// The winning candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty leaderboard (a tuning run always evaluates ≥ 1 candidate).
+    pub fn best(&self) -> &CandidateResult {
+        &self.entries[0]
+    }
+
+    /// Serialises the ranking as CSV. Floats use Rust's shortest-round-trip formatting,
+    /// so the file is both diff-stable and lossless.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "rank,id,rung,budget,objective,speedup,prefetch_accuracy,prefetch_coverage,\
+             dram_ratio,alpha,gamma,epsilon,tau,features,reward_weights,uncorrelated\n",
+        );
+        for (rank, e) in self.entries.iter().enumerate() {
+            let features: Vec<&str> = e.config.features.iter().map(|f| f.short_name()).collect();
+            let weights: Vec<String> = e
+                .config
+                .reward_weights
+                .as_array()
+                .iter()
+                .map(|w| format!("{w}"))
+                .collect();
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                rank + 1,
+                e.id,
+                e.rung,
+                e.budget,
+                e.objective,
+                e.speedup,
+                e.prefetch_accuracy,
+                e.prefetch_coverage,
+                e.dram_ratio,
+                e.config.alpha,
+                e.config.gamma,
+                e.config.epsilon,
+                e.config.tau,
+                features.join("+"),
+                weights.join("/"),
+                e.config.use_uncorrelated_reward,
+            ));
+        }
+        out
+    }
+
+    /// Serialises the full leaderboard — schedule, workloads and per-entry configurations
+    /// included — under the `athena-tune-v1` schema.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::str("athena-tune-v1")),
+            ("objective", Json::str(self.objective.name())),
+            ("instructions", Json::num(self.instructions as f64)),
+            (
+                "workloads",
+                Json::arr(self.workloads.iter().map(Json::str).collect()),
+            ),
+            (
+                "rungs",
+                Json::arr(
+                    self.rungs
+                        .iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("candidates", Json::int(r.candidates)),
+                                ("budget", Json::num(r.budget as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("evaluations", Json::int(self.evaluations)),
+            (
+                "entries",
+                Json::arr(
+                    self.entries
+                        .iter()
+                        .enumerate()
+                        .map(|(rank, e)| {
+                            Json::obj(vec![
+                                ("rank", Json::int(rank + 1)),
+                                ("id", Json::int(e.id)),
+                                ("rung", Json::int(e.rung)),
+                                ("budget", Json::num(e.budget as f64)),
+                                ("objective", Json::num(e.objective)),
+                                ("speedup", Json::num(e.speedup)),
+                                ("prefetch_accuracy", Json::num(e.prefetch_accuracy)),
+                                ("prefetch_coverage", Json::num(e.prefetch_coverage)),
+                                ("dram_ratio", Json::num(e.dram_ratio)),
+                                ("config", config_to_json(&e.config)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The `best.json` document for the winning configuration: the claimed scores plus
+    /// the configuration itself, loadable by `figures --tuned-config`
+    /// ([`crate::load_config`] accepts the wrapper).
+    pub fn best_json(&self) -> Json {
+        let best = self.best();
+        Json::obj(vec![
+            ("schema", Json::str("athena-tune-config-v1")),
+            ("objective", Json::str(self.objective.name())),
+            ("objective_value", Json::num(best.objective)),
+            ("speedup", Json::num(best.speedup)),
+            ("instructions", Json::num(self.instructions as f64)),
+            (
+                "workloads",
+                Json::arr(self.workloads.iter().map(Json::str).collect()),
+            ),
+            ("config", config_to_json(&best.config)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config_io::config_from_json;
+
+    fn board() -> Leaderboard {
+        let entry = |id: usize, rung: usize, objective: f64| CandidateResult {
+            id,
+            config: AthenaConfig {
+                alpha: [0.2, 0.3, 0.4][id],
+                ..AthenaConfig::default()
+            },
+            rung,
+            budget: if rung == 1 { 40_000 } else { 20_000 },
+            objective,
+            speedup: objective,
+            prefetch_accuracy: 0.5,
+            prefetch_coverage: 0.25,
+            dram_ratio: 1.125,
+        };
+        Leaderboard {
+            objective: Objective::Speedup,
+            instructions: 40_000,
+            workloads: vec!["w0".into(), "w1".into()],
+            rungs: vec![
+                Rung {
+                    candidates: 3,
+                    budget: 20_000,
+                },
+                Rung {
+                    candidates: 2,
+                    budget: 40_000,
+                },
+            ],
+            evaluations: 10,
+            entries: vec![entry(1, 1, 1.25), entry(0, 1, 1.1), entry(2, 0, 1.3)],
+        }
+    }
+
+    #[test]
+    fn csv_has_one_ranked_row_per_entry() {
+        let csv = board().to_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("rank,id,rung,budget,objective"));
+        assert!(lines[1].starts_with("1,1,1,40000,1.25,1.25,0.5,0.25,1.125,0.3,"));
+        assert!(lines[1].contains("PA+OA+BW+CP"));
+        assert!(lines[1].contains("1.6/0/0/0.6/1"));
+    }
+
+    #[test]
+    fn json_carries_schema_schedule_and_configs() {
+        let text = board().to_json().to_pretty();
+        for needle in [
+            "athena-tune-v1",
+            "\"objective\": \"speedup\"",
+            "\"candidates\": 3",
+            "\"rank\": 1",
+            "\"alpha\": 0.3",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn best_json_round_trips_into_the_winning_config() {
+        let b = board();
+        let doc = b.best_json();
+        assert_eq!(
+            doc.get("speedup").and_then(Json::as_f64),
+            Some(b.best().speedup)
+        );
+        let reloaded = config_from_json(&Json::parse(&doc.to_pretty()).unwrap()).unwrap();
+        assert_eq!(reloaded, b.best().config);
+    }
+}

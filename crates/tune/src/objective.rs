@@ -1,0 +1,189 @@
+//! Tuning objectives: how a candidate's per-workload runs are scored against the
+//! prefetchers-only baseline runs.
+//!
+//! Every objective builds on the geomean IPC speedup; the weighted variants additionally
+//! reward prefetch quality or penalise DRAM traffic, using the per-run
+//! [`DramStats`](athena_sim::DramStats) surfaced by the engine's `RunResult`. Scores are
+//! pure functions of the run results, so any objective inherits the engine's determinism.
+
+use athena_engine::RunResult;
+
+/// Geometric mean of a slice of positive values; 1.0 for an empty slice.
+///
+/// This is the aggregation every objective uses; the harness's `tuned` experiment scores
+/// through the same function, which is what makes a tuned configuration's replayed
+/// speedup bit-identical to the leaderboard's claim.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// A candidate-scoring rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Geomean IPC speedup over the prefetchers-only baseline (the default).
+    Speedup,
+    /// Speedup scaled by prefetcher accuracy: `speedup × (0.5 + 0.5 × accuracy)`.
+    /// Prefers configurations whose wins do not ride on speculative spray.
+    AccuracyWeighted,
+    /// Speedup scaled by prefetch coverage: `speedup × (0.5 + 0.5 × coverage)`.
+    CoverageWeighted,
+    /// Speedup divided by `1 + max(0, ΔDRAM)`, where ΔDRAM is the candidate's relative
+    /// excess in total DRAM requests over the baseline. Penalises bandwidth-hungry
+    /// configurations that would not survive a shared memory channel.
+    BandwidthAware,
+}
+
+impl Objective {
+    /// Every objective, in CLI/report order.
+    pub fn all() -> [Objective; 4] {
+        [
+            Objective::Speedup,
+            Objective::AccuracyWeighted,
+            Objective::CoverageWeighted,
+            Objective::BandwidthAware,
+        ]
+    }
+
+    /// The name used by the CLI and the leaderboard schema.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Objective::Speedup => "speedup",
+            Objective::AccuracyWeighted => "accuracy-weighted",
+            Objective::CoverageWeighted => "coverage-weighted",
+            Objective::BandwidthAware => "bandwidth-aware",
+        }
+    }
+
+    /// The inverse of [`Objective::name`].
+    pub fn from_name(name: &str) -> Option<Objective> {
+        Objective::all().into_iter().find(|o| o.name() == name)
+    }
+
+    /// Scores one workload's candidate run against its baseline run.
+    pub fn score_cell(&self, candidate: &RunResult, baseline: &RunResult) -> f64 {
+        let speedup = candidate.ipc / baseline.ipc.max(1e-12);
+        match self {
+            Objective::Speedup => speedup,
+            Objective::AccuracyWeighted => {
+                speedup * (0.5 + 0.5 * candidate.stats.prefetcher_accuracy())
+            }
+            Objective::CoverageWeighted => {
+                speedup * (0.5 + 0.5 * candidate.stats.prefetch_coverage())
+            }
+            Objective::BandwidthAware => {
+                let base = baseline.dram.total_requests.max(1) as f64;
+                let excess = (candidate.dram.total_requests as f64
+                    - baseline.dram.total_requests as f64)
+                    / base;
+                speedup / (1.0 + excess.max(0.0))
+            }
+        }
+    }
+
+    /// Scores a candidate over a workload set: the geomean of the per-workload scores, in
+    /// workload order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices differ in length (they are positionally paired).
+    pub fn score_set(&self, candidates: &[RunResult], baselines: &[RunResult]) -> f64 {
+        assert_eq!(
+            candidates.len(),
+            baselines.len(),
+            "candidate and baseline runs must pair up"
+        );
+        let scores: Vec<f64> = candidates
+            .iter()
+            .zip(baselines)
+            .map(|(c, b)| self.score_cell(c, b))
+            .collect();
+        geomean(&scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use athena_sim::{DramStats, SimStats};
+
+    fn run(ipc: f64, useful: u64, issued: u64, llc_misses: u64, dram_total: u64) -> RunResult {
+        RunResult {
+            workload: "w".into(),
+            instructions: 10_000,
+            cycles: (10_000.0 / ipc) as u64,
+            ipc,
+            stats: SimStats {
+                prefetches_useful: useful,
+                prefetches_issued: issued,
+                llc_misses,
+                ..SimStats::default()
+            },
+            dram: DramStats {
+                total_requests: dram_total,
+                ..DramStats::default()
+            },
+            epochs: Vec::new(),
+            timeline: None,
+        }
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 1.0);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for o in Objective::all() {
+            assert_eq!(Objective::from_name(o.name()), Some(o));
+        }
+        assert_eq!(Objective::from_name("ipc"), None);
+    }
+
+    #[test]
+    fn speedup_is_the_ipc_ratio() {
+        let c = run(1.2, 0, 0, 0, 100);
+        let b = run(1.0, 0, 0, 0, 100);
+        assert!((Objective::Speedup.score_cell(&c, &b) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_and_coverage_weighting_reward_quality() {
+        let b = run(1.0, 0, 0, 100, 100);
+        let sloppy = run(1.2, 10, 100, 90, 100); // 10% accuracy
+        let sharp = run(1.2, 90, 100, 10, 100); // 90% accuracy, high coverage
+        assert!(
+            Objective::AccuracyWeighted.score_cell(&sharp, &b)
+                > Objective::AccuracyWeighted.score_cell(&sloppy, &b)
+        );
+        assert!(
+            Objective::CoverageWeighted.score_cell(&sharp, &b)
+                > Objective::CoverageWeighted.score_cell(&sloppy, &b)
+        );
+    }
+
+    #[test]
+    fn bandwidth_objective_penalises_extra_dram_traffic_only() {
+        let b = run(1.0, 0, 0, 0, 100);
+        let frugal = run(1.2, 0, 0, 0, 80);
+        let hungry = run(1.2, 0, 0, 0, 200);
+        // Using less bandwidth than the baseline is not rewarded beyond the speedup…
+        assert!((Objective::BandwidthAware.score_cell(&frugal, &b) - 1.2).abs() < 1e-12);
+        // …but using double costs a factor of two.
+        assert!((Objective::BandwidthAware.score_cell(&hungry, &b) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_set_is_the_geomean_of_cells() {
+        let b = run(1.0, 0, 0, 0, 100);
+        let c1 = run(2.0, 0, 0, 0, 100);
+        let c2 = run(0.5, 0, 0, 0, 100);
+        let s = Objective::Speedup.score_set(&[c1.clone(), c2.clone()], &[b.clone(), b.clone()]);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}

@@ -25,7 +25,10 @@
 //!   series, agent learning internals, learning curves).
 //! * [`engine`] — the parallel experiment engine (jobs, deterministic seeding, worker
 //!   pool, JSON reports).
-//! * [`harness`] — the per-figure experiment harness and the `figures` / `trace` CLIs.
+//! * [`tune`] — deterministic design-space exploration over Athena configurations
+//!   (seeded random search, successive halving, objective scoring, leaderboards).
+//! * [`harness`] — the per-figure experiment harness and the `figures` / `trace` /
+//!   `tune` CLIs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,12 +42,13 @@ pub use athena_prefetchers as prefetchers;
 pub use athena_sim as sim;
 pub use athena_telemetry as telemetry;
 pub use athena_trace_io as trace_io;
+pub use athena_tune as tune;
 pub use athena_workloads as workloads;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use athena_coordinators::{FixedCombo, Hpac, Mab, NaiveAll, Tlp};
-    pub use athena_core::{AthenaAgent, AthenaConfig};
+    pub use athena_core::{AthenaAgent, AthenaConfig, Feature, RewardWeights};
     pub use athena_engine::{CellResult, Engine, Job, JobOutput, SeedPolicy};
     pub use athena_harness::{
         simulate, simulate_multicore, CoordinatorKind, OcpKind, PrefetcherKind, RunOptions,
@@ -57,6 +61,10 @@ pub mod prelude {
     pub use athena_telemetry::{LearningCurve, Timeline, WindowSample};
     pub use athena_trace_io::{
         convert, open_trace, record_trace, TraceFormat, TraceIoError, TraceSummary,
+    };
+    pub use athena_tune::{
+        load_config, tune, DesignSpace, Leaderboard, Objective, ParamSpace, TuneOptions,
+        TuneStrategy,
     };
     pub use athena_workloads::{
         all_workloads, find_workload, mixes, suite_workloads, Suite, WorkloadSpec,

@@ -51,6 +51,7 @@ fn tables_are_byte_identical_across_worker_counts() {
         workload_limit: Some(4),
         jobs: 1,
         trace_dir: None,
+        tuned_config: None,
     };
     // One category sweep, one raw-stats figure and one multi-core figure.
     for fig in ["fig7", "fig3", "fig15"] {

@@ -21,6 +21,7 @@ fn opts(jobs: usize) -> RunOptions {
         workload_limit: Some(4),
         jobs,
         trace_dir: None,
+        tuned_config: None,
     }
 }
 

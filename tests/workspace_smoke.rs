@@ -27,6 +27,7 @@ fn prelude_reexports_are_usable() {
         workload_limit: Some(1),
         jobs: 1,
         trace_dir: None,
+        tuned_config: None,
     };
     assert_eq!(opts.workload_limit, Some(1));
 }
