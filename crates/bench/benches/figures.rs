@@ -39,6 +39,7 @@ fn figure_benches(c: &mut Criterion) {
         jobs: 1,
         trace_dir: None,
         tuned_config: None,
+        store: None,
     };
     for name in ["fig15", "fig16"] {
         multicore.bench_function(name, |b| {

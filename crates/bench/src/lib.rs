@@ -29,6 +29,7 @@ pub fn bench_options() -> athena_harness::RunOptions {
         jobs: 1,
         trace_dir: None,
         tuned_config: None,
+        store: None,
     }
 }
 

@@ -8,18 +8,24 @@ use athena_sim::MultiCoreResult;
 use crate::job::{Job, JobOutput, RunResult};
 use crate::pool::{available_parallelism, parallel_map};
 use crate::record;
+use crate::store::StoreHandle;
 
-/// A parallel experiment executor with a fixed worker count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A parallel experiment executor with a fixed worker count and an optional persistent
+/// result store.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Engine {
     jobs: usize,
+    store: Option<StoreHandle>,
 }
 
 impl Engine {
     /// Creates an engine running up to `jobs` simulation cells concurrently. `jobs == 1` is
     /// the exact serial path: cells run on the caller's thread in submission order.
     pub fn new(jobs: usize) -> Self {
-        Self { jobs: jobs.max(1) }
+        Self {
+            jobs: jobs.max(1),
+            store: None,
+        }
     }
 
     /// An engine sized to the host (`std::thread::available_parallelism`).
@@ -27,31 +33,75 @@ impl Engine {
         Self::new(available_parallelism())
     }
 
+    /// Attaches a result store: batches consult it before simulating and persist what
+    /// they simulate, as its policy allows. Because every cell is a pure function of its
+    /// job, a stored result is indistinguishable from a fresh one — tables come out
+    /// byte-identical either way.
+    pub fn with_store(mut self, store: Option<StoreHandle>) -> Self {
+        self.store = store;
+        self
+    }
+
     /// The configured worker count.
     pub fn jobs(&self) -> usize {
         self.jobs
     }
 
+    /// The attached result store, if any.
+    pub fn store(&self) -> Option<&StoreHandle> {
+        self.store.as_ref()
+    }
+
     /// Runs every job and returns one [`CellResult`] per job, in submission order.
     ///
-    /// A job that panics yields a `CellResult` with `output: Err(message)`; the rest of the
+    /// With a result store attached, cells whose results are already stored are served
+    /// from it (with `cached: true` and zero wall-clock) and only the misses are
+    /// simulated; newly simulated successes are persisted back. A job that panics yields
+    /// a `CellResult` with `output: Err(message)` (never persisted); the rest of the
     /// batch completes normally. Cell metadata (label, seed, wall-clock, outcome) is also
     /// forwarded to any active [`record::with_recording`] scope on the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the attached store is corrupt, fails to decode a record, or fails an
+    /// append — a broken cache is surfaced, never silently recomputed over.
     pub fn run(&self, jobs: Vec<Job>) -> Vec<CellResult> {
-        let outcomes = parallel_map(self.jobs, &jobs, |job| job.run());
+        let cached: Vec<Option<JobOutput>> = match &self.store {
+            Some(handle) => jobs.iter().map(|job| handle.fetch(job)).collect(),
+            None => jobs.iter().map(|_| None).collect(),
+        };
+        let misses: Vec<Job> = jobs
+            .iter()
+            .zip(&cached)
+            .filter(|(_, hit)| hit.is_none())
+            .map(|(job, _)| job.clone())
+            .collect();
+        let outcomes = parallel_map(self.jobs, &misses, |job| job.run());
+        if let Some(handle) = &self.store {
+            for (job, outcome) in misses.iter().zip(&outcomes) {
+                if let Ok((output, _)) = outcome {
+                    handle.persist(job, output);
+                }
+            }
+        }
+        let mut fresh = outcomes.into_iter();
         let cells: Vec<CellResult> = jobs
             .into_iter()
-            .zip(outcomes)
-            .map(|(job, outcome)| {
-                let (output, wall) = match outcome {
-                    Ok((output, wall)) => (Ok(output), wall),
-                    Err(message) => (Err(message), Duration::ZERO),
+            .zip(cached)
+            .map(|(job, hit)| {
+                let (output, wall, cached) = match hit {
+                    Some(output) => (Ok(output), Duration::ZERO, true),
+                    None => match fresh.next().expect("one simulated outcome per miss") {
+                        Ok((output, wall)) => (Ok(output), wall, false),
+                        Err(message) => (Err(message), Duration::ZERO, false),
+                    },
                 };
                 CellResult {
                     experiment: job.experiment.clone(),
                     label: job.label(),
                     seed: job.seed,
                     wall,
+                    cached,
                     output,
                 }
             })
@@ -76,8 +126,10 @@ pub struct CellResult {
     pub label: String,
     /// The job's derived seed.
     pub seed: u64,
-    /// Wall-clock time spent simulating this cell.
+    /// Wall-clock time spent simulating this cell (zero for cached cells).
     pub wall: Duration,
+    /// Whether the result was served from the attached result store instead of simulated.
+    pub cached: bool,
     /// The simulation result, or the panic message if the cell failed.
     pub output: Result<JobOutput, String>,
 }

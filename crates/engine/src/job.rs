@@ -62,9 +62,6 @@ pub enum WorkloadRef {
     File(FileWorkload),
 }
 
-/// Former name of [`WorkloadRef`], kept as an alias for existing callers.
-pub type JobCell = WorkloadRef;
-
 /// An on-disk trace standing in for a workload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FileWorkload {
@@ -188,7 +185,7 @@ impl Job {
             seed_policy: SeedPolicy::Config,
             telemetry: None,
         };
-        job.seed = job.derive_seed();
+        job.seed = job.identity_hash();
         job
     }
 
@@ -206,7 +203,7 @@ impl Job {
     /// substitution) without re-running the enumeration logic.
     pub fn with_athena_config(mut self, config: athena_core::AthenaConfig) -> Self {
         self.coordinator = CoordinatorKind::AthenaWith(config);
-        self.seed = self.derive_seed();
+        self.seed = self.identity_hash();
         self
     }
 
@@ -219,12 +216,31 @@ impl Job {
         self
     }
 
-    /// The seed implied by this job's identity (experiment, cell, configuration,
-    /// coordinator, instruction budget). Scheduling state contributes nothing — and
-    /// neither does a trace file's *path*: a file-backed cell is identified by its
-    /// workload name alone, so replaying a recorded trace from any directory derives the
-    /// generated cell's seed.
-    fn derive_seed(&self) -> u64 {
+    /// The canonical identity hash of this cell — the 64-bit key under which its result
+    /// is seeded, cached and compared.
+    ///
+    /// The hash covers exactly the facets that determine *what the cell computes*: the
+    /// experiment name, the workload/mix/trace-file *name* (never a trace file's path —
+    /// replaying a recorded trace from any directory keeps the generated cell's
+    /// identity), the per-workload names of a multi-core mix, the full
+    /// [`SystemConfig`] (via its own canonical `hash_into`), the coordinator name (plus
+    /// the `Debug` rendering of an explicit [`CoordinatorKind::AthenaWith`]
+    /// configuration, so every hyperparameter distinguishes DSE grid points), and the
+    /// instruction budget. It deliberately excludes scheduling state (worker count,
+    /// submission order), [`Job::seed_policy`] and [`Job::telemetry`] — those change how
+    /// the result is *observed or seeded*, not which cell it is; the result store keys
+    /// records by `(identity_hash, variant)` where the variant covers the excluded
+    /// output-affecting facets.
+    ///
+    /// # Stability contract
+    ///
+    /// The derivation — FNV-1a 64 over length-delimited parts, finished with one
+    /// SplitMix64 round (see [`crate::seed::SeedHasher`]) — is a persistence format:
+    /// on-disk result stores key records by this value, and `tests/identity.rs` pins
+    /// known hash values so any drift fails CI. Changing the hashed facets, their order,
+    /// or the hash constants invalidates every existing store and requires bumping the
+    /// store's `FORMAT_VERSION` together with the pinned test constants.
+    pub fn identity_hash(&self) -> u64 {
         let mut h = SeedHasher::new();
         h.write_str(&self.experiment);
         h.write_str(self.cell.name());
@@ -387,7 +403,7 @@ impl athena_sim::TraceSource for BudgetedTrace<'_> {
     }
 }
 
-/// The result of one job: single-core or multi-core, matching the job's [`JobCell`].
+/// The result of one job: single-core or multi-core, matching the job's [`WorkloadRef`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobOutput {
     /// Result of a single-core cell (boxed: the inline stats block is large).

@@ -17,7 +17,12 @@
 //!   wall-clock accounting ([`Engine::run`]).
 //! * **Machine-readable results** — a hand-rolled JSON writer ([`json::Json`]) serialises
 //!   aggregate [`ExperimentTable`]s, per-cell records ([`with_recording`]) and the
-//!   `BENCH_engine.json` performance snapshot ([`report::BenchReport`]).
+//!   `BENCH_engine.json` performance snapshot ([`report::BenchReport`]); every document
+//!   declares a shared [`report::Schema`] constant.
+//! * **Result caching** — an optional persistent content-addressed store
+//!   ([`StoreHandle`], crate `athena-store`) serves previously simulated cells, keyed by
+//!   [`Job::identity_hash`], so warm re-runs simulate nothing and killed sweeps resume
+//!   paying only for missing cells ([`Engine::with_store`]).
 //!
 //! ```
 //! use athena_engine::{CoordinatorKind, Engine, Job, OcpKind, PrefetcherKind, SystemConfig};
@@ -47,14 +52,21 @@ pub mod json;
 pub mod pool;
 pub mod report;
 pub mod seed;
+pub mod store;
 
 pub use exec::{CellResult, Engine};
 pub use job::{
-    simulate, simulate_multicore, FileWorkload, Job, JobCell, JobOutput, RunResult, SeedPolicy,
+    simulate, simulate_multicore, FileWorkload, Job, JobOutput, RunResult, SeedPolicy,
     TelemetrySpec, WorkloadRef,
 };
 pub use kinds::{default_athena_config, CoordinatorKind, OcpKind, PrefetcherKind, SystemConfig};
 pub use pool::available_parallelism;
 pub use record::{with_recording, CellRecord};
 pub use seed::{derive_seed, SeedHasher};
+pub use store::{record_key, variant_hash, StoreHandle};
 pub use table::ExperimentTable;
+
+// Re-exported so store consumers need only this crate.
+pub use athena_store::{
+    GcReport, RecordKey, ResultStore, StoreError, StorePolicy, StoreStats, VerifyReport,
+};

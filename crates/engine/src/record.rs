@@ -16,7 +16,7 @@ use athena_telemetry::Timeline;
 use crate::exec::CellResult;
 use crate::job::JobOutput;
 use crate::json::Json;
-use crate::report::timeline_json;
+use crate::report::{dram_stats_json, timeline_json};
 
 thread_local! {
     static RECORDER: RefCell<Option<Vec<CellRecord>>> = const { RefCell::new(None) };
@@ -31,8 +31,11 @@ pub struct CellRecord {
     pub label: String,
     /// The job's derived seed.
     pub seed: u64,
-    /// Wall-clock time spent simulating the cell.
+    /// Wall-clock time spent simulating the cell (zero for cells served from a result
+    /// store).
     pub wall: Duration,
+    /// Whether the cell's result was served from a result store instead of simulated.
+    pub cached: bool,
     /// The panic message, if the cell failed.
     pub error: Option<String>,
     /// End-of-run DRAM-channel statistics (single-core cells only; `None` for failed or
@@ -54,33 +57,19 @@ impl CellRecord {
             ("seed", Json::hex(self.seed)),
             ("wall_ms", Json::num(self.wall.as_secs_f64() * 1e3)),
             ("ok", Json::Bool(self.error.is_none())),
+            ("cached", Json::Bool(self.cached)),
         ];
         if let Some(e) = &self.error {
             pairs.push(("error", Json::str(e)));
         }
         if let Some(d) = &self.dram {
-            pairs.push(("dram", dram_json(d)));
+            pairs.push(("dram", dram_stats_json(d)));
         }
         if let Some(t) = &self.timeline {
             pairs.push(("timeline", timeline_json(t)));
         }
         Json::obj(pairs)
     }
-}
-
-/// Serialises a DRAM-channel snapshot for the per-cell records.
-fn dram_json(d: &DramStats) -> Json {
-    Json::obj(vec![
-        ("total_requests", Json::num(d.total_requests as f64)),
-        ("demand_requests", Json::num(d.demand_requests as f64)),
-        ("prefetch_requests", Json::num(d.prefetch_requests as f64)),
-        ("ocp_requests", Json::num(d.ocp_requests as f64)),
-        ("writeback_requests", Json::num(d.writeback_requests as f64)),
-        ("row_hits", Json::num(d.row_hits as f64)),
-        ("row_misses", Json::num(d.row_misses as f64)),
-        ("bus_busy_cycles", Json::num(d.bus_busy_cycles as f64)),
-        ("demand_latency_sum", Json::num(d.demand_latency_sum as f64)),
-    ])
 }
 
 /// Restores the previous recording scope on unwind, so a panicking closure (e.g. a failed
@@ -130,6 +119,7 @@ pub(crate) fn record_cells(cells: &[CellResult]) {
                 label: c.label.clone(),
                 seed: c.seed,
                 wall: c.wall,
+                cached: c.cached,
                 error: c.output.as_ref().err().cloned(),
                 dram: match &c.output {
                     Ok(JobOutput::Single(r)) => Some(r.dram),

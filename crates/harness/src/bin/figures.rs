@@ -18,7 +18,9 @@
 //! worker count, verifies the tables match byte-for-byte, and writes the
 //! `BENCH_engine.json` performance snapshot. `--trace-dir` replays recorded traces
 //! (written by the `trace` CLI) in place of in-process generation. `--timeline` runs the
-//! windowed-telemetry study (per-cell time series + learning-curve table).
+//! windowed-telemetry study (per-cell time series + learning-curve table). `--store DIR`
+//! attaches the persistent result store: finished cells are cached and a warm re-run with
+//! the same options simulates nothing while producing byte-identical tables.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -28,7 +30,7 @@ use athena_engine::{available_parallelism, with_recording};
 use athena_harness::cli::FIGURES_HELP as HELP;
 use athena_harness::experiments::{experiment_names, run_experiment};
 use athena_harness::timeline::timeline_study;
-use athena_harness::RunOptions;
+use athena_harness::{RunOptions, StoreHandle, StorePolicy};
 use athena_telemetry::DEFAULT_WINDOW_INSTRUCTIONS;
 
 struct Args {
@@ -45,6 +47,12 @@ struct Args {
     parallel_jobs: usize,
 }
 
+/// Counts one batch's cache hits: `(simulated, cached)`.
+fn cache_split(cells: &[athena_engine::CellRecord]) -> (usize, usize) {
+    let cached = cells.iter().filter(|c| c.cached).count();
+    (cells.len() - cached, cached)
+}
+
 fn parse_args() -> Result<Args, String> {
     let mut figs = Vec::new();
     let mut all = false;
@@ -59,6 +67,8 @@ fn parse_args() -> Result<Args, String> {
     let mut bench_report = false;
     let mut timeline = false;
     let mut window: Option<u64> = None;
+    let mut store_dir: Option<PathBuf> = None;
+    let mut store_policy: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -117,6 +127,12 @@ fn parse_args() -> Result<Args, String> {
                     args.next().ok_or("--tuned-config needs a value")?,
                 ))
             }
+            "--store" => {
+                store_dir = Some(PathBuf::from(args.next().ok_or("--store needs a value")?))
+            }
+            "--store-policy" => {
+                store_policy = Some(args.next().ok_or("--store-policy needs a value")?)
+            }
             "--out" => out_dir = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
             "--list" => {
                 for n in experiment_names() {
@@ -140,6 +156,16 @@ fn parse_args() -> Result<Args, String> {
             "--bench-report writes only BENCH_engine.json; drop --json or run them separately"
                 .to_string(),
         );
+    }
+    if bench_report && store_dir.is_some() {
+        return Err(
+            "--bench-report measures simulation wall-clock; a result store would serve \
+             cached cells and corrupt the timings — drop --store"
+                .to_string(),
+        );
+    }
+    if store_policy.is_some() && store_dir.is_none() {
+        return Err("--store-policy only applies with --store <DIR>".to_string());
     }
     if timeline && (bench_report || all || !figs.is_empty() || json) {
         return Err(
@@ -181,6 +207,16 @@ fn parse_args() -> Result<Args, String> {
     opts.tuned_config = tuned_config;
     let parallel_jobs = jobs.unwrap_or_else(available_parallelism);
     opts.jobs = parallel_jobs;
+    let policy = match &store_policy {
+        Some(name) => StorePolicy::from_name(name)
+            .ok_or_else(|| format!("unknown --store-policy '{name}' (rw, ro, refresh, off)"))?,
+        None => StorePolicy::ReadWrite,
+    };
+    // `off` skips the store entirely; an unopenable or corrupt store exits 1 inside
+    // `open_store` (environment failure), not through the usage-error path (exit 2).
+    if let Some(dir) = store_dir.filter(|_| policy != StorePolicy::Off) {
+        opts.store = Some(open_store(&dir, policy));
+    }
     Ok(Args {
         figs,
         opts,
@@ -191,6 +227,18 @@ fn parse_args() -> Result<Args, String> {
         window: window.unwrap_or(DEFAULT_WINDOW_INSTRUCTIONS),
         parallel_jobs,
     })
+}
+
+/// Opens the result store or dies loudly: a store that cannot be trusted (corrupt files,
+/// a live second writer) must never be silently recomputed over.
+fn open_store(dir: &std::path::Path, policy: StorePolicy) -> StoreHandle {
+    match StoreHandle::open(dir, policy) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("error: result store {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
 }
 
 fn write_file(path: &std::path::Path, contents: &str) {
@@ -271,7 +319,7 @@ fn run_bench_report(args: &Args) {
 /// into `<out|results>/timeline/`.
 fn run_timeline(args: &Args) {
     let start = Instant::now();
-    let study = timeline_study(&args.opts, args.window);
+    let (study, recorded) = with_recording(|| timeline_study(&args.opts, args.window));
     let elapsed = start.elapsed();
     println!("{}", study.curves);
     println!(
@@ -280,6 +328,13 @@ fn run_timeline(args: &Args) {
         study.cells.len(),
         study.window_instructions
     );
+    if let Some(store) = &args.opts.store {
+        let (simulated, cached) = cache_split(&recorded);
+        println!(
+            "[store] {simulated} simulated, {cached} cached ({})",
+            store.dir().display()
+        );
+    }
     let dir = args
         .out_dir
         .clone()
@@ -315,6 +370,8 @@ fn main() {
         .out_dir
         .clone()
         .unwrap_or_else(|| PathBuf::from("results"));
+    let mut total_simulated = 0usize;
+    let mut total_cached = 0usize;
     for fig in &args.figs {
         let start = Instant::now();
         let (table, cells) = with_recording(|| run_experiment(fig, &args.opts));
@@ -322,8 +379,16 @@ fn main() {
         match table {
             Some(table) => {
                 println!("{table}");
+                let store_note = if args.opts.store.is_some() {
+                    let (simulated, cached) = cache_split(&cells);
+                    total_simulated += simulated;
+                    total_cached += cached;
+                    format!("; {simulated} simulated, {cached} cached")
+                } else {
+                    String::new()
+                };
                 println!(
-                    "[{fig} completed in {elapsed:.1?} with {} jobs]\n",
+                    "[{fig} completed in {elapsed:.1?} with {} jobs{store_note}]\n",
                     args.opts.jobs
                 );
                 if let Some(dir) = &args.out_dir {
@@ -339,5 +404,11 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(store) = &args.opts.store {
+        println!(
+            "[store] {total_simulated} simulated, {total_cached} cached ({})",
+            store.dir().display()
+        );
     }
 }

@@ -1,0 +1,421 @@
+//! The `results` CLI: inspect and maintain a persistent result store.
+//!
+//! ```text
+//! cargo run --release -p athena-harness --bin results -- stats --store results/store
+//! cargo run --release -p athena-harness --bin results -- query --store results/store --experiment fig7
+//! cargo run --release -p athena-harness --bin results -- diff --store a/ --against b/
+//! cargo run --release -p athena-harness --bin results -- gc --store results/store
+//! cargo run --release -p athena-harness --bin results -- verify --store results/store
+//! ```
+//!
+//! Every command except `gc` opens the store read-only and takes no writer lock, so a
+//! running sweep can be inspected live. `verify` exits non-zero on any corruption;
+//! `diff` exits non-zero when the two stores disagree. Run `results --help` for the
+//! full reference (also rendered into `docs/CLI.md`).
+
+use std::path::PathBuf;
+
+use athena_engine::json::Json;
+use athena_engine::{RecordKey, StoreHandle, StorePolicy};
+use athena_harness::cli::RESULTS_HELP as HELP;
+
+#[derive(PartialEq)]
+enum Command {
+    Stats,
+    Query,
+    Diff,
+    Gc,
+    Verify,
+}
+
+struct Args {
+    command: Command,
+    store: PathBuf,
+    /// `diff` only: the second store.
+    against: Option<PathBuf>,
+    /// `query` filters (exact match on the record envelope's fields).
+    experiment: Option<String>,
+    workload: Option<String>,
+    coordinator: Option<String>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut command = None;
+    let mut store = None;
+    let mut against = None;
+    let mut experiment = None;
+    let mut workload = None;
+    let mut coordinator = None;
+    let mut json = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            args.next().ok_or(format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "stats" if command.is_none() => command = Some(Command::Stats),
+            "query" if command.is_none() => command = Some(Command::Query),
+            "diff" if command.is_none() => command = Some(Command::Diff),
+            "gc" if command.is_none() => command = Some(Command::Gc),
+            "verify" if command.is_none() => command = Some(Command::Verify),
+            "--store" => store = Some(PathBuf::from(value("--store")?)),
+            "--against" => against = Some(PathBuf::from(value("--against")?)),
+            "--experiment" => experiment = Some(value("--experiment")?),
+            "--workload" => workload = Some(value("--workload")?),
+            "--coordinator" => coordinator = Some(value("--coordinator")?),
+            "--json" => json = true,
+            "--version" => {
+                println!("results {}", env!("CARGO_PKG_VERSION"));
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    let command = command.ok_or("no command given (stats, query, diff, gc, verify)")?;
+    let store = store.ok_or("--store <DIR> is required")?;
+    if command == Command::Diff && against.is_none() {
+        return Err("diff needs --against <DIR>".to_string());
+    }
+    if command != Command::Diff && against.is_some() {
+        return Err("--against only applies to diff".to_string());
+    }
+    if command != Command::Query
+        && (experiment.is_some() || workload.is_some() || coordinator.is_some())
+    {
+        return Err("--experiment/--workload/--coordinator only apply to query".to_string());
+    }
+    Ok(Args {
+        command,
+        store,
+        against,
+        experiment,
+        workload,
+        coordinator,
+        json,
+    })
+}
+
+/// Opens a store or dies loudly (exit 1): a store this tool cannot read must be looked
+/// at, not worked around.
+fn open(dir: &std::path::Path, policy: StorePolicy) -> StoreHandle {
+    match StoreHandle::open(dir, policy) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("error: result store {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The self-describing half of a record payload (everything but the output itself).
+struct Envelope {
+    experiment: String,
+    label: String,
+    workload: String,
+    coordinator: String,
+    instructions: u64,
+    seed: u64,
+}
+
+/// Parses a record envelope, failing loudly on any malformed payload.
+fn envelope(key: RecordKey, payload: &[u8]) -> Result<Envelope, String> {
+    let text = std::str::from_utf8(payload).map_err(|e| format!("payload is not UTF-8: {e}"))?;
+    let doc = Json::parse(text).map_err(|e| format!("payload is not JSON: {e}"))?;
+    let field = |name: &str| -> Result<String, String> {
+        doc.get(name)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or(format!(
+                "record {:016x}.{:016x} has no '{name}' field",
+                key.identity, key.variant
+            ))
+    };
+    let hex = |name: &str| -> Result<u64, String> {
+        doc.get(name).and_then(Json::as_hex_u64).ok_or(format!(
+            "record {:016x}.{:016x} has no hex '{name}' field",
+            key.identity, key.variant
+        ))
+    };
+    Ok(Envelope {
+        experiment: field("experiment")?,
+        label: field("label")?,
+        workload: field("workload")?,
+        coordinator: field("coordinator")?,
+        instructions: hex("instructions")?,
+        seed: hex("seed")?,
+    })
+}
+
+fn run_stats(args: &Args) {
+    let handle = open(&args.store, StorePolicy::ReadOnly);
+    let stats = handle.lock().stats();
+    if args.json {
+        let doc = Json::obj(vec![
+            ("store", Json::str(args.store.display().to_string())),
+            ("live_records", Json::int(stats.live_records as usize)),
+            ("superseded_records", Json::int(stats.superseded() as usize)),
+            ("total_records", Json::int(stats.total_records as usize)),
+            ("log_bytes", Json::num(stats.log_bytes as f64)),
+        ]);
+        println!("{}", doc.to_pretty());
+    } else {
+        println!(
+            "{}: {} live records ({} superseded of {} total), {} log bytes",
+            args.store.display(),
+            stats.live_records,
+            stats.superseded(),
+            stats.total_records,
+            stats.log_bytes
+        );
+    }
+}
+
+fn run_query(args: &Args) {
+    let handle = open(&args.store, StorePolicy::ReadOnly);
+    let mut store = handle.lock();
+    let mut rows = Vec::new();
+    for key in store.keys() {
+        let payload = match store.get(key) {
+            Ok(Some(p)) => p,
+            Ok(None) => continue,
+            Err(e) => {
+                eprintln!("error: result store {}: {e}", args.store.display());
+                std::process::exit(1);
+            }
+        };
+        let env = match envelope(key, &payload) {
+            Ok(env) => env,
+            Err(e) => {
+                eprintln!("error: result store {}: {e}", args.store.display());
+                std::process::exit(1);
+            }
+        };
+        if args
+            .experiment
+            .as_deref()
+            .is_some_and(|f| f != env.experiment)
+            || args.workload.as_deref().is_some_and(|f| f != env.workload)
+            || args
+                .coordinator
+                .as_deref()
+                .is_some_and(|f| f != env.coordinator)
+        {
+            continue;
+        }
+        rows.push((key, env));
+    }
+    if args.json {
+        let doc = Json::obj(vec![
+            ("store", Json::str(args.store.display().to_string())),
+            ("records", Json::int(rows.len())),
+            (
+                "entries",
+                Json::arr(
+                    rows.iter()
+                        .map(|(key, env)| {
+                            Json::obj(vec![
+                                ("identity", Json::hex(key.identity)),
+                                ("variant", Json::hex(key.variant)),
+                                ("experiment", Json::str(&env.experiment)),
+                                ("workload", Json::str(&env.workload)),
+                                ("coordinator", Json::str(&env.coordinator)),
+                                ("label", Json::str(&env.label)),
+                                ("instructions", Json::hex(env.instructions)),
+                                ("seed", Json::hex(env.seed)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!("{}", doc.to_pretty());
+    } else {
+        for (key, env) in &rows {
+            println!(
+                "{:016x}.{:016x}  {}  {}  {}  {}",
+                key.identity, key.variant, env.experiment, env.workload, env.coordinator, env.label
+            );
+        }
+        println!("{} records", rows.len());
+    }
+}
+
+fn run_diff(args: &Args) {
+    let b_dir = args.against.as_ref().expect("diff always has --against");
+    let a_handle = open(&args.store, StorePolicy::ReadOnly);
+    let b_handle = open(b_dir, StorePolicy::ReadOnly);
+    let mut a = a_handle.lock();
+    let mut b = b_handle.lock();
+    let fetch = |store: &mut athena_engine::ResultStore, dir: &std::path::Path, key: RecordKey| {
+        store.get(key).unwrap_or_else(|e| {
+            eprintln!("error: result store {}: {e}", dir.display());
+            std::process::exit(1);
+        })
+    };
+    let mut only_a = Vec::new();
+    let mut only_b = Vec::new();
+    let mut differ = Vec::new();
+    let mut matching = 0usize;
+    for key in a.keys() {
+        match fetch(&mut b, b_dir, key) {
+            None => only_a.push(key),
+            Some(theirs) => {
+                let ours = fetch(&mut a, &args.store, key).expect("key listed by the store");
+                if ours == theirs {
+                    matching += 1;
+                } else {
+                    differ.push(key);
+                }
+            }
+        }
+    }
+    for key in b.keys() {
+        if fetch(&mut a, &args.store, key).is_none() {
+            only_b.push(key);
+        }
+    }
+    let key_list = |keys: &[RecordKey]| {
+        Json::arr(
+            keys.iter()
+                .map(|k| Json::str(format!("{:016x}.{:016x}", k.identity, k.variant)))
+                .collect(),
+        )
+    };
+    if args.json {
+        let doc = Json::obj(vec![
+            ("store", Json::str(args.store.display().to_string())),
+            ("against", Json::str(b_dir.display().to_string())),
+            ("matching", Json::int(matching)),
+            ("only_store", key_list(&only_a)),
+            ("only_against", key_list(&only_b)),
+            ("differing", key_list(&differ)),
+        ]);
+        println!("{}", doc.to_pretty());
+    } else {
+        for key in &only_a {
+            println!(
+                "only {}: {:016x}.{:016x}",
+                args.store.display(),
+                key.identity,
+                key.variant
+            );
+        }
+        for key in &only_b {
+            println!(
+                "only {}: {:016x}.{:016x}",
+                b_dir.display(),
+                key.identity,
+                key.variant
+            );
+        }
+        for key in &differ {
+            println!(
+                "payloads differ: {:016x}.{:016x}",
+                key.identity, key.variant
+            );
+        }
+        println!(
+            "{} matching, {} only in {}, {} only in {}, {} differing",
+            matching,
+            only_a.len(),
+            args.store.display(),
+            only_b.len(),
+            b_dir.display(),
+            differ.len()
+        );
+    }
+    if !(only_a.is_empty() && only_b.is_empty() && differ.is_empty()) {
+        std::process::exit(1);
+    }
+}
+
+fn run_gc(args: &Args) {
+    let handle = open(&args.store, StorePolicy::ReadWrite);
+    let report = match handle.lock().gc() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "error: result store {}: gc failed: {e}",
+                args.store.display()
+            );
+            std::process::exit(1);
+        }
+    };
+    if args.json {
+        let doc = Json::obj(vec![
+            ("store", Json::str(args.store.display().to_string())),
+            ("kept", Json::int(report.kept as usize)),
+            ("dropped", Json::int(report.dropped as usize)),
+            ("bytes_before", Json::num(report.bytes_before as f64)),
+            ("bytes_after", Json::num(report.bytes_after as f64)),
+        ]);
+        println!("{}", doc.to_pretty());
+    } else {
+        println!(
+            "{}: kept {} records, dropped {} superseded, {} -> {} bytes",
+            args.store.display(),
+            report.kept,
+            report.dropped,
+            report.bytes_before,
+            report.bytes_after
+        );
+    }
+}
+
+fn run_verify(args: &Args) {
+    let handle = open(&args.store, StorePolicy::ReadOnly);
+    let report = match handle.lock().verify() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "error: result store {}: verify failed: {e}",
+                args.store.display()
+            );
+            std::process::exit(1);
+        }
+    };
+    if args.json {
+        let doc = Json::obj(vec![
+            ("store", Json::str(args.store.display().to_string())),
+            (
+                "records_scanned",
+                Json::int(report.records_scanned as usize),
+            ),
+            ("live_records", Json::int(report.live_records as usize)),
+            ("payload_bytes", Json::num(report.payload_bytes as f64)),
+            ("ok", Json::Bool(true)),
+        ]);
+        println!("{}", doc.to_pretty());
+    } else {
+        println!(
+            "{}: ok — {} records scanned ({} live), {} payload bytes, every checksum verified",
+            args.store.display(),
+            report.records_scanned,
+            report.live_records,
+            report.payload_bytes
+        );
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match args.command {
+        Command::Stats => run_stats(&args),
+        Command::Query => run_query(&args),
+        Command::Diff => run_diff(&args),
+        Command::Gc => run_gc(&args),
+        Command::Verify => run_verify(&args),
+    }
+}

@@ -20,11 +20,12 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use athena_engine::available_parallelism;
 use athena_engine::json::Json;
+use athena_engine::report::TUNE_BENCH_SCHEMA;
+use athena_engine::{available_parallelism, with_recording};
 use athena_harness::cli::TUNE_HELP as HELP;
 use athena_harness::experiments::tuning_set;
-use athena_harness::RunOptions;
+use athena_harness::{RunOptions, StoreHandle, StorePolicy};
 use athena_tune::{tune, DesignSpace, Leaderboard, Objective, TuneOptions, TuneStrategy};
 
 struct Args {
@@ -57,6 +58,8 @@ fn parse_args() -> Result<Args, String> {
     let mut out_dir: Option<PathBuf> = None;
     let mut top = 10usize;
     let mut bench_report = false;
+    let mut store_dir: Option<PathBuf> = None;
+    let mut store_policy: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -124,6 +127,8 @@ fn parse_args() -> Result<Args, String> {
                      coverage-weighted, bandwidth-aware)"
                 ))?;
             }
+            "--store" => store_dir = Some(PathBuf::from(value("--store")?)),
+            "--store-policy" => store_policy = Some(value("--store-policy")?),
             "--out" => out_dir = Some(PathBuf::from(value("--out")?)),
             "--top" => {
                 top = value("--top")?
@@ -142,6 +147,16 @@ fn parse_args() -> Result<Args, String> {
         }
     }
 
+    if bench_report && store_dir.is_some() {
+        return Err(
+            "--bench-report measures search wall-clock; a result store would serve \
+             cached cells and corrupt the timings — drop --store"
+                .to_string(),
+        );
+    }
+    if store_policy.is_some() && store_dir.is_none() {
+        return Err("--store-policy only applies with --store <DIR>".to_string());
+    }
     let mut run = if quick {
         RunOptions::quick()
     } else {
@@ -179,6 +194,25 @@ fn parse_args() -> Result<Args, String> {
     }
     if let Some(dir) = &run.trace_dir {
         tune_opts = tune_opts.with_trace_dir(dir.clone());
+    }
+    let policy = match &store_policy {
+        Some(name) => StorePolicy::from_name(name)
+            .ok_or_else(|| format!("unknown --store-policy '{name}' (rw, ro, refresh, off)"))?,
+        None => StorePolicy::ReadWrite,
+    };
+    // `off` skips the store entirely; an unopenable or corrupt store exits 1 here
+    // (environment failure), not through the usage-error path (exit 2).
+    if let Some(dir) = store_dir.filter(|_| policy != StorePolicy::Off) {
+        match StoreHandle::open(&dir, policy) {
+            Ok(handle) => {
+                run.store = Some(handle.clone());
+                tune_opts = tune_opts.with_store(handle);
+            }
+            Err(e) => {
+                eprintln!("error: result store {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
     }
     Ok(Args {
         space,
@@ -273,7 +307,6 @@ fn run_bench_report(args: &Args, board: &Leaderboard, parallel_wall: std::time::
     }
     let host = available_parallelism();
     let mut pairs = vec![
-        ("schema", Json::str("athena-tune-bench-v1")),
         ("jobs", Json::int(args.parallel_jobs)),
         ("host_parallelism", Json::int(host)),
     ];
@@ -305,7 +338,7 @@ fn run_bench_report(args: &Args, board: &Leaderboard, parallel_wall: std::time::
             Some(dir) => dir.join("BENCH_tune.json"),
             None => PathBuf::from("BENCH_tune.json"),
         },
-        &Json::obj(pairs).to_pretty(),
+        &TUNE_BENCH_SCHEMA.document(pairs).to_pretty(),
     );
 }
 
@@ -319,7 +352,8 @@ fn main() {
     };
     let workloads = tuning_set(&args.run);
     let start = Instant::now();
-    let board = tune(&args.space, &args.strategy, &workloads, &args.tune_opts);
+    let (board, recorded) =
+        with_recording(|| tune(&args.space, &args.strategy, &workloads, &args.tune_opts));
     let wall = start.elapsed();
     print_summary(&board, args.top);
     println!(
@@ -328,6 +362,14 @@ fn main() {
         board.entries.len(),
         board.evaluations
     );
+    if let Some(store) = &args.run.store {
+        let cached = recorded.iter().filter(|c| c.cached).count();
+        println!(
+            "[store] {} simulated, {cached} cached ({})",
+            recorded.len() - cached,
+            store.dir().display()
+        );
+    }
     let dir = args
         .out_dir
         .clone()

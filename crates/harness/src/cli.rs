@@ -37,6 +37,18 @@ run options:
                       leaderboard's claim exactly) and adds a 'tuned' policy to
                       --timeline
 
+result store:
+  --store <DIR>       attach the persistent result store in DIR (created if missing):
+                      every finished cell is cached under its identity hash, and a warm
+                      re-run with the same options simulates nothing while producing
+                      byte-identical tables; a killed sweep resumes paying only for the
+                      missing cells. Incompatible with --bench-report (cached cells
+                      would corrupt the timings). Inspect the store with `results`
+  --store-policy <P>  how the batch uses the store (default rw): 'rw' reads and writes,
+                      'ro' reads but never writes (no writer lock taken), 'refresh'
+                      re-simulates everything and overwrites the cached records,
+                      'off' ignores the store entirely
+
 output:
   --out <DIR>         write one <fig>.csv per experiment into DIR (and relocate the other
                       output files below)
@@ -142,6 +154,14 @@ run options:
                        `trace record --tuning`); identical leaderboard bytes to the
                        generated run
 
+result store:
+  --store <DIR>        attach the persistent result store in DIR (see `figures --help`):
+                       rung budgets are part of each cell's identity, so re-entering a
+                       killed or widened search re-simulates only the unseen
+                       (candidate × workload × budget) cells. Incompatible with
+                       --bench-report
+  --store-policy <P>   'rw' (default), 'ro', 'refresh' or 'off'
+
 output:
   --out <DIR>          output directory (default results/tune): leaderboard.csv +
                        leaderboard.json (schema athena-tune-v1) and best.json (the
@@ -158,6 +178,37 @@ misc:
   --version            print the workspace version and exit
   --help, -h           print this help and exit";
 
+/// `results --help`.
+pub const RESULTS_HELP: &str = "\
+results — inspect and maintain a persistent result store (written by
+          `figures --store` / `tune --store`)
+
+usage: results <command> --store <DIR> [options]
+
+commands:
+  stats      print record counts and on-disk size (live, superseded, log bytes)
+  query      list the live records in deterministic key order, one line per record:
+             identity.variant, experiment, workload, coordinator, label
+  diff       compare two stores: records only in one, and shared keys whose payloads
+             differ (--against <DIR> names the second store)
+  gc         rewrite the log keeping only live records, dropping superseded ones
+             (takes the writer lock; the only command that modifies the store)
+  verify     scan every record — headers, payload checksums, index agreement — and
+             exit non-zero on any corruption
+
+options:
+  --store <DIR>        the store directory (required; all commands except gc open it
+                       read-only and take no writer lock)
+  --against <DIR>      (diff only) the second store to compare against
+  --experiment <NAME>  (query only) keep records of this experiment
+  --workload <NAME>    (query only) keep records of this workload or mix
+  --coordinator <NAME> (query only) keep records of this coordination policy
+  --json               machine-readable output instead of the human summary
+
+misc:
+  --version            print the workspace version and exit
+  --help, -h           print this help and exit";
+
 /// Renders `docs/CLI.md` from the help constants above.
 pub fn cli_reference() -> String {
     format!(
@@ -168,7 +219,8 @@ pub fn cli_reference() -> String {
          `crates/harness/src/cli.rs`, not this file.\n\n\
          ## `figures`\n\n```text\n{FIGURES_HELP}\n```\n\n\
          ## `trace`\n\n```text\n{TRACE_HELP}\n```\n\n\
-         ## `tune`\n\n```text\n{TUNE_HELP}\n```\n"
+         ## `tune`\n\n```text\n{TUNE_HELP}\n```\n\n\
+         ## `results`\n\n```text\n{RESULTS_HELP}\n```\n"
     )
 }
 
@@ -182,8 +234,20 @@ mod tests {
         assert!(doc.contains(FIGURES_HELP));
         assert!(doc.contains(TRACE_HELP));
         assert!(doc.contains(TUNE_HELP));
+        assert!(doc.contains(RESULTS_HELP));
         assert!(doc.starts_with("# CLI reference"));
         assert!(doc.ends_with("```\n"));
+    }
+
+    #[test]
+    fn help_texts_document_the_result_store() {
+        for help in [FIGURES_HELP, TUNE_HELP] {
+            assert!(help.contains("--store <DIR>"));
+            assert!(help.contains("--store-policy"));
+        }
+        for command in ["stats", "query", "diff", "gc", "verify"] {
+            assert!(RESULTS_HELP.contains(command), "missing {command}");
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 
 use athena_core::{AthenaConfig, Feature, RewardWeights};
-use athena_engine::{CellResult, Engine, Job};
+use athena_engine::{CellResult, Job};
 use athena_workloads::{
     all_workloads, google_like_workloads, mixes, tuning_workloads, MixCategory, Suite, WorkloadSpec,
 };
@@ -134,7 +134,7 @@ fn single_jobs(
 /// returns the results in submission order. Every cell is a pure function of its job, so
 /// the returned results are bit-identical at any worker count.
 fn run_batch(jobs: Vec<Job>, opts: &RunOptions) -> Vec<RunResult> {
-    Engine::new(opts.jobs)
+    crate::run::engine_for(opts)
         .run(jobs)
         .into_iter()
         .map(CellResult::into_single)
@@ -806,7 +806,7 @@ fn multicore_fig(
     for (_, kind) in &policies {
         jobs.extend(multicore_jobs(kind));
     }
-    let mut results = Engine::new(opts.jobs)
+    let mut results = crate::run::engine_for(opts)
         .run(jobs)
         .into_iter()
         .map(CellResult::into_multi);
@@ -1300,6 +1300,7 @@ mod tests {
             jobs: 2,
             trace_dir: None,
             tuned_config: None,
+            store: None,
         }
     }
 

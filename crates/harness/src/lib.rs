@@ -46,7 +46,7 @@ pub use athena_engine::ExperimentTable;
 pub use athena_tune as tune;
 pub use run::{
     simulate, simulate_multicore, CoordinatorKind, OcpKind, PrefetcherKind, RunOptions, RunResult,
-    SystemConfig,
+    StoreHandle, StorePolicy, SystemConfig,
 };
 
 // One geomean for the whole workspace: the experiments aggregate through the exact same

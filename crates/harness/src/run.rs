@@ -15,9 +15,11 @@
 
 use std::path::PathBuf;
 
+use athena_engine::Engine;
+
 pub use athena_engine::{
     default_athena_config, simulate, simulate_multicore, CoordinatorKind, OcpKind, PrefetcherKind,
-    RunResult, SystemConfig,
+    RunResult, StoreHandle, StorePolicy, SystemConfig,
 };
 
 /// Options controlling run length, parallelism and trace substitution.
@@ -51,6 +53,12 @@ pub struct RunOptions {
     /// configuration produced by `tune` on the same options reproduces its leaderboard
     /// speedup exactly (locked in by `tests/tune_determinism.rs`).
     pub tuned_config: Option<PathBuf>,
+    /// Optional persistent result store (the `--store` flag): every engine batch an
+    /// experiment runs consults it before simulating and persists what it simulates, as
+    /// the handle's [`StorePolicy`] allows. Because cells are pure functions of their
+    /// jobs, tables are byte-identical with or without a store; a warm store makes the
+    /// whole run simulation-free.
+    pub store: Option<StoreHandle>,
 }
 
 impl RunOptions {
@@ -64,6 +72,7 @@ impl RunOptions {
             jobs: 1,
             trace_dir: None,
             tuned_config: None,
+            store: None,
         }
     }
 
@@ -75,6 +84,7 @@ impl RunOptions {
             jobs: 1,
             trace_dir: None,
             tuned_config: None,
+            store: None,
         }
     }
 
@@ -97,6 +107,20 @@ impl RunOptions {
         self.tuned_config = Some(path.into());
         self
     }
+
+    /// Returns a copy whose engine batches use the given result store (see
+    /// [`RunOptions::store`]).
+    pub fn with_store(mut self, store: StoreHandle) -> Self {
+        self.store = Some(store);
+        self
+    }
+}
+
+/// Builds the experiment engine an options set asks for: `opts.jobs` workers, with the
+/// result store attached when one is configured. Every experiment batch goes through
+/// here, so a `--store` flag reaches all of them.
+pub(crate) fn engine_for(opts: &RunOptions) -> Engine {
+    Engine::new(opts.jobs).with_store(opts.store.clone())
 }
 
 #[cfg(test)]

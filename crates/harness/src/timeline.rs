@@ -7,7 +7,7 @@
 //! byte-identical at any `--jobs` count and under `--trace-dir` replay
 //! (`tests/timeline_determinism.rs` locks this in).
 
-use athena_engine::{CellResult, Engine, Job};
+use athena_engine::{CellResult, Job};
 use athena_sim::EpochStats;
 use athena_telemetry::{Timeline, WindowMetrics};
 
@@ -92,7 +92,7 @@ pub fn timeline_study(opts: &RunOptions, window_instructions: u64) -> TimelineSt
             );
         }
     }
-    let mut results = Engine::new(opts.jobs).run(jobs).into_iter();
+    let mut results = crate::run::engine_for(opts).run(jobs).into_iter();
 
     let mut cells = Vec::new();
     let mut curves = ExperimentTable::new(
@@ -158,6 +158,7 @@ mod tests {
             jobs: 2,
             trace_dir: None,
             tuned_config: None,
+            store: None,
         }
     }
 

@@ -104,8 +104,7 @@ impl Leaderboard {
     /// Serialises the full leaderboard — schedule, workloads and per-entry configurations
     /// included — under the `athena-tune-v1` schema.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
-            ("schema", Json::str("athena-tune-v1")),
+        athena_engine::report::TUNE_SCHEMA.document(vec![
             ("objective", Json::str(self.objective.name())),
             ("instructions", Json::num(self.instructions as f64)),
             (
@@ -158,8 +157,7 @@ impl Leaderboard {
     /// ([`crate::load_config`] accepts the wrapper).
     pub fn best_json(&self) -> Json {
         let best = self.best();
-        Json::obj(vec![
-            ("schema", Json::str("athena-tune-config-v1")),
+        athena_engine::report::TUNE_CONFIG_SCHEMA.document(vec![
             ("objective", Json::str(self.objective.name())),
             ("objective_value", Json::num(best.objective)),
             ("speedup", Json::num(best.speedup)),

@@ -19,7 +19,8 @@
 use std::path::PathBuf;
 
 use athena_engine::{
-    CellResult, CoordinatorKind, Engine, Job, OcpKind, PrefetcherKind, RunResult, SystemConfig,
+    CellResult, CoordinatorKind, Engine, Job, OcpKind, PrefetcherKind, RunResult, StoreHandle,
+    SystemConfig,
 };
 use athena_workloads::WorkloadSpec;
 use rand::rngs::StdRng;
@@ -58,6 +59,10 @@ pub struct TuneOptions {
     /// The system configuration candidates are evaluated on (default: CD1 with Pythia and
     /// POPET, the paper's tuning setup).
     pub config: SystemConfig,
+    /// Optional persistent result store. Rung budgets are part of each cell's identity,
+    /// so a search re-entered over a widened space (or after a kill) re-simulates only
+    /// the (candidate × workload × budget) cells the store has not seen.
+    pub store: Option<StoreHandle>,
 }
 
 impl TuneOptions {
@@ -70,6 +75,7 @@ impl TuneOptions {
             objective: Objective::Speedup,
             seed: DEFAULT_TUNE_SEED,
             config: SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet),
+            store: None,
         }
     }
 
@@ -94,6 +100,13 @@ impl TuneOptions {
     /// Returns a copy sampling candidates with a different seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns a copy whose evaluation batches use the given result store (see
+    /// [`TuneOptions::store`]).
+    pub fn with_store(mut self, store: StoreHandle) -> Self {
+        self.store = Some(store);
         self
     }
 }
@@ -280,7 +293,7 @@ pub fn tune(
         })
         .collect();
 
-    let engine = Engine::new(opts.jobs);
+    let engine = Engine::new(opts.jobs).with_store(opts.store.clone());
     let mut survivors: Vec<usize> = (0..entries.len()).collect();
     let mut evaluations = 0usize;
 

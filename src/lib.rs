@@ -25,10 +25,12 @@
 //!   series, agent learning internals, learning curves).
 //! * [`engine`] — the parallel experiment engine (jobs, deterministic seeding, worker
 //!   pool, JSON reports).
+//! * [`store`] — the persistent content-addressed result store (append-only record log,
+//!   rebuildable index, single-writer locking) that caches finished cells across runs.
 //! * [`tune`] — deterministic design-space exploration over Athena configurations
 //!   (seeded random search, successive halving, objective scoring, leaderboards).
 //! * [`harness`] — the per-figure experiment harness and the `figures` / `trace` /
-//!   `tune` CLIs.
+//!   `tune` / `results` CLIs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +42,7 @@ pub use athena_harness as harness;
 pub use athena_ocp as ocp;
 pub use athena_prefetchers as prefetchers;
 pub use athena_sim as sim;
+pub use athena_store as store;
 pub use athena_telemetry as telemetry;
 pub use athena_trace_io as trace_io;
 pub use athena_tune as tune;
@@ -49,7 +52,7 @@ pub use athena_workloads as workloads;
 pub mod prelude {
     pub use athena_coordinators::{FixedCombo, Hpac, Mab, NaiveAll, Tlp};
     pub use athena_core::{AthenaAgent, AthenaConfig, Feature, RewardWeights};
-    pub use athena_engine::{CellResult, Engine, Job, JobOutput, SeedPolicy};
+    pub use athena_engine::{CellResult, Engine, Job, JobOutput, SeedPolicy, StoreHandle};
     pub use athena_harness::{
         simulate, simulate_multicore, CoordinatorKind, OcpKind, PrefetcherKind, RunOptions,
         RunResult, SystemConfig,
@@ -58,6 +61,7 @@ pub mod prelude {
         Coordinator, CoordinatorTelemetry, EpochStats, OffChipPredictor, Prefetcher, SimConfig,
         Simulator, TraceRecord, TraceSource,
     };
+    pub use athena_store::{ResultStore, StoreError, StorePolicy};
     pub use athena_telemetry::{LearningCurve, Timeline, WindowSample};
     pub use athena_trace_io::{
         convert, open_trace, record_trace, TraceFormat, TraceIoError, TraceSummary,

@@ -194,6 +194,7 @@ fn quick_figure_experiments_produce_consistent_tables() {
         jobs: 2,
         trace_dir: None,
         tuned_config: None,
+        store: None,
     };
     for fig in ["fig2", "fig7", "tab4"] {
         let table = experiments::run_experiment(fig, &opts).expect(fig);

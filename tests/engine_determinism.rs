@@ -52,6 +52,7 @@ fn tables_are_byte_identical_across_worker_counts() {
         jobs: 1,
         trace_dir: None,
         tuned_config: None,
+        store: None,
     };
     // One category sweep, one raw-stats figure and one multi-core figure.
     for fig in ["fig7", "fig3", "fig15"] {

@@ -1,0 +1,292 @@
+//! Persistent result store acceptance tests (ISSUE 6):
+//!
+//! * a warm re-run of an experiment simulates zero cells and reproduces the table
+//!   byte-for-byte;
+//! * a killed/widened sweep resumes paying only for the missing cells — for figures and
+//!   for the tuner;
+//! * `StorePolicy::Refresh` re-simulates everything, `StorePolicy::ReadOnly` never
+//!   writes;
+//! * corruption is loud: a damaged store fails the run, it is never silently recomputed
+//!   over (proptest over arbitrary log truncation, mirroring `tests/trace_io.rs`).
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use athena_repro::engine::{with_recording, Engine, Job, RecordKey, StoreHandle};
+use athena_repro::harness::experiments::{run_experiment, tuning_set};
+use athena_repro::prelude::*;
+use athena_repro::store::{INDEX_FILE, LOG_FILE};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("athena-store-it-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(limit: usize, store: Option<StoreHandle>) -> RunOptions {
+    RunOptions {
+        instructions: 8_000,
+        workload_limit: Some(limit),
+        jobs: 2,
+        trace_dir: None,
+        tuned_config: None,
+        store,
+    }
+}
+
+fn rw(dir: &std::path::Path) -> StoreHandle {
+    StoreHandle::open(dir, StorePolicy::ReadWrite).expect("open result store")
+}
+
+fn cd1() -> SystemConfig {
+    SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet)
+}
+
+fn engine_jobs(n: usize) -> Vec<Job> {
+    all_workloads()
+        .into_iter()
+        .take(n)
+        .map(|spec| Job::single("store-it", spec, cd1(), CoordinatorKind::Athena, 6_000))
+        .collect()
+}
+
+#[test]
+fn warm_rerun_simulates_nothing_and_reproduces_the_table_bytes() {
+    let dir = tmp("warm");
+    let (cold_table, cold_cells) = {
+        let o = opts(4, Some(rw(&dir)));
+        with_recording(|| run_experiment("fig7", &o).expect("fig7 exists"))
+    };
+    assert!(!cold_cells.is_empty());
+    assert!(
+        cold_cells.iter().all(|c| !c.cached),
+        "a cold store serves nothing"
+    );
+
+    let (warm_table, warm_cells) = {
+        let o = opts(4, Some(rw(&dir)));
+        with_recording(|| run_experiment("fig7", &o).expect("fig7 exists"))
+    };
+    assert_eq!(warm_cells.len(), cold_cells.len());
+    assert!(
+        warm_cells.iter().all(|c| c.cached),
+        "a warm re-run simulates zero cells"
+    );
+    assert_eq!(
+        warm_table.to_csv(),
+        cold_table.to_csv(),
+        "cached tables are byte-identical"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_widened_sweep_pays_only_for_the_missing_cells() {
+    let dir = tmp("widen");
+    let (narrow_table, narrow_cells) = {
+        let o = opts(4, Some(rw(&dir)));
+        with_recording(|| run_experiment("fig7", &o).expect("fig7 exists"))
+    };
+    // Widening the workload cap keeps the original cells' identities: the resumed sweep
+    // re-simulates only the new workloads' cells.
+    let (wide_table, wide_cells) = {
+        let o = opts(8, Some(rw(&dir)));
+        with_recording(|| run_experiment("fig7", &o).expect("fig7 exists"))
+    };
+    let cached = wide_cells.iter().filter(|c| c.cached).count();
+    assert_eq!(
+        cached,
+        narrow_cells.len(),
+        "every old cell comes from the store"
+    );
+    assert_eq!(
+        wide_cells.len() - cached,
+        wide_cells.len() - narrow_cells.len(),
+        "only the new workloads simulate"
+    );
+    assert_ne!(wide_table.to_csv(), narrow_table.to_csv());
+
+    // And the resumed table is byte-identical to a store-less run of the same options.
+    let fresh = run_experiment("fig7", &opts(8, None)).expect("fig7 exists");
+    assert_eq!(wide_table.to_csv(), fresh.to_csv());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_widened_tuning_search_resimulates_only_new_points() {
+    let dir = tmp("tune");
+    let space = DesignSpace::quick();
+    // 6 samples ≥ the quick grid, so the candidate set is the full enumeration both
+    // times and the narrow run's cells all reappear in the wide one.
+    let strategy = TuneStrategy::Random { samples: 6 };
+    let tune_opts = |store: Option<StoreHandle>| {
+        let mut o = TuneOptions::new(8_000).with_jobs(2);
+        if let Some(s) = store {
+            o = o.with_store(s);
+        }
+        o
+    };
+    let narrow_workloads = tuning_set(&opts(4, None));
+    let wide_workloads = tuning_set(&opts(6, None));
+    assert!(narrow_workloads
+        .iter()
+        .all(|w| wide_workloads.iter().any(|v| v.name == w.name)));
+
+    let (_, narrow_cells) = with_recording(|| {
+        tune(
+            &space,
+            &strategy,
+            &narrow_workloads,
+            &tune_opts(Some(rw(&dir))),
+        )
+    });
+    let (wide_board, wide_cells) = with_recording(|| {
+        tune(
+            &space,
+            &strategy,
+            &wide_workloads,
+            &tune_opts(Some(rw(&dir))),
+        )
+    });
+    let cached = wide_cells.iter().filter(|c| c.cached).count();
+    assert_eq!(
+        cached,
+        narrow_cells.len(),
+        "every old point comes from the store"
+    );
+    assert!(wide_cells.len() > narrow_cells.len());
+
+    let fresh = tune(&space, &strategy, &wide_workloads, &tune_opts(None));
+    assert_eq!(wide_board.to_csv(), fresh.to_csv());
+    assert_eq!(
+        wide_board.to_json().to_string(),
+        fresh.to_json().to_string(),
+        "the resumed leaderboard is byte-identical to a store-less run"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn refresh_resimulates_and_read_only_never_writes() {
+    let dir = tmp("policies");
+    let jobs = engine_jobs(3);
+    {
+        let results = Engine::new(2).with_store(Some(rw(&dir))).run(jobs.clone());
+        assert!(results.iter().all(|r| !r.cached));
+    }
+    // Refresh never reads: every cell simulates again (and overwrites its record).
+    {
+        let refresh = StoreHandle::open(&dir, StorePolicy::Refresh).unwrap();
+        let results = Engine::new(2).with_store(Some(refresh)).run(jobs.clone());
+        assert!(results.iter().all(|r| !r.cached));
+    }
+    // ReadOnly serves the cache but leaves the store bytes untouched — even for misses.
+    let log_before = fs::read(dir.join(LOG_FILE)).unwrap();
+    {
+        let ro = StoreHandle::open(&dir, StorePolicy::ReadOnly).unwrap();
+        let results = Engine::new(2)
+            .with_store(Some(ro.clone()))
+            .run(jobs.clone());
+        assert!(results.iter().all(|r| r.cached && r.wall == Duration::ZERO));
+        let miss = engine_jobs(5).split_off(3);
+        let results = Engine::new(2).with_store(Some(ro)).run(miss);
+        assert!(results.iter().all(|r| !r.cached));
+    }
+    assert_eq!(fs::read(dir.join(LOG_FILE)).unwrap(), log_before);
+    // And a read-only open of a store that does not exist is an error, not an empty
+    // cache.
+    let missing = tmp("policies-missing");
+    assert!(StoreHandle::open(&missing, StorePolicy::ReadOnly).is_err());
+    assert!(!missing.exists(), "read-only opens create nothing");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_corrupt_record_fails_the_batch_loudly_instead_of_being_recomputed_over() {
+    let dir = tmp("corrupt");
+    let jobs = engine_jobs(2);
+    {
+        let results = Engine::new(2).with_store(Some(rw(&dir))).run(jobs.clone());
+        assert_eq!(results.len(), 2);
+    }
+    // Flip one payload byte near the end of the log (headers stay intact, so the store
+    // opens; the checksum catches the damage at fetch time).
+    let log = dir.join(LOG_FILE);
+    let mut bytes = fs::read(&log).unwrap();
+    let at = bytes.len() - 40;
+    bytes[at] ^= 0x01;
+    fs::write(&log, &bytes).unwrap();
+
+    let handle = StoreHandle::open(&dir, StorePolicy::ReadOnly).unwrap();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Engine::new(2).with_store(Some(handle)).run(jobs)
+    }));
+    assert!(outcome.is_err(), "a lying cache must panic the batch");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Builds a small store fixture directly (no simulation) and returns its payloads.
+fn fixture(dir: &std::path::Path) -> Vec<(RecordKey, Vec<u8>)> {
+    let mut store = athena_repro::store::ResultStore::open(dir, false).unwrap();
+    let records: Vec<(RecordKey, Vec<u8>)> = (0..5u64)
+        .map(|i| {
+            let key = RecordKey {
+                identity: 0x1000 + i,
+                variant: i,
+            };
+            (key, vec![i as u8 + 1; 10 + (i as usize) * 7])
+        })
+        .collect();
+    for (key, payload) in &records {
+        store.put(*key, payload).unwrap();
+    }
+    store.flush().unwrap();
+    records
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Truncating the record log anywhere is always loud: with the index present the
+    /// open fails (the index covers bytes that no longer exist); with the index deleted
+    /// the open either fails or recovers a verified prefix — never wrong payloads.
+    #[test]
+    fn truncated_stores_fail_loudly_or_recover_a_verified_prefix(cut_seed in 0u64..100_000) {
+        let drop_index = cut_seed % 2 == 1;
+        let dir = tmp(&format!("truncate-{cut_seed}-{drop_index}"));
+        let records = fixture(&dir);
+        let log = dir.join(LOG_FILE);
+        let full = fs::read(&log).unwrap();
+        let cut = (cut_seed as usize) % full.len();
+        fs::write(&log, &full[..cut]).unwrap();
+        if drop_index {
+            fs::remove_file(dir.join(INDEX_FILE)).unwrap();
+        }
+
+        let opened = athena_repro::store::ResultStore::open(&dir, true);
+        if drop_index {
+            if let Ok(mut store) = opened {
+                // Recovery is only legal at a record boundary, and every surviving
+                // record must round-trip its exact original payload.
+                let keys = store.keys();
+                prop_assert!(keys.len() <= records.len());
+                for (i, key) in keys.iter().enumerate() {
+                    prop_assert_eq!(*key, records[i].0, "recovered keys are a prefix");
+                    prop_assert_eq!(
+                        store.get(*key).unwrap().as_deref(),
+                        Some(records[i].1.as_slice())
+                    );
+                }
+            }
+        } else {
+            prop_assert!(
+                opened.is_err(),
+                "an index covering missing bytes must fail the open"
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -22,6 +22,7 @@ fn opts(jobs: usize) -> RunOptions {
         jobs,
         trace_dir: None,
         tuned_config: None,
+        store: None,
     }
 }
 

@@ -28,6 +28,7 @@ fn run_opts(jobs: usize) -> RunOptions {
         jobs,
         trace_dir: None,
         tuned_config: None,
+        store: None,
     }
 }
 

@@ -28,6 +28,7 @@ fn prelude_reexports_are_usable() {
         jobs: 1,
         trace_dir: None,
         tuned_config: None,
+        store: None,
     };
     assert_eq!(opts.workload_limit, Some(1));
 }
