@@ -40,6 +40,8 @@ fn figure_benches(c: &mut Criterion) {
         trace_dir: None,
         tuned_config: None,
         store: None,
+        probe: None,
+        progress: false,
     };
     for name in ["fig15", "fig16"] {
         multicore.bench_function(name, |b| {

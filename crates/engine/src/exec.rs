@@ -1,8 +1,10 @@
 //! The [`Engine`]: runs a batch of [`Job`]s on the worker pool and collects per-cell
 //! results in submission order.
 
-use std::time::Duration;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
+use athena_probe::{Event, Phase, PhaseProfile, ProbeSink};
 use athena_sim::MultiCoreResult;
 
 use crate::job::{Job, JobOutput, RunResult};
@@ -10,12 +12,15 @@ use crate::pool::{available_parallelism, parallel_map};
 use crate::record;
 use crate::store::StoreHandle;
 
-/// A parallel experiment executor with a fixed worker count and an optional persistent
-/// result store.
+/// A parallel experiment executor with a fixed worker count, an optional persistent
+/// result store, and optional observability (a structured event sink and a stderr
+/// progress line).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Engine {
     jobs: usize,
     store: Option<StoreHandle>,
+    probe: Option<ProbeSink>,
+    progress: bool,
 }
 
 impl Engine {
@@ -25,6 +30,8 @@ impl Engine {
         Self {
             jobs: jobs.max(1),
             store: None,
+            probe: None,
+            progress: false,
         }
     }
 
@@ -42,6 +49,22 @@ impl Engine {
         self
     }
 
+    /// Attaches a structured event sink: batches emit their lifecycle events
+    /// ([`athena_probe::Event`]) as JSONL through it. Observation is not identity — the
+    /// sink sees results, results never see the sink, so attaching one cannot change a
+    /// table byte. All events are emitted on the calling thread at deterministic points.
+    pub fn with_probe(mut self, probe: Option<ProbeSink>) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Enables a live `cells done / cached / ETA` progress line on stderr while batches
+    /// simulate (builder style). Off by default.
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
+    }
+
     /// The configured worker count.
     pub fn jobs(&self) -> usize {
         self.jobs
@@ -50,6 +73,11 @@ impl Engine {
     /// The attached result store, if any.
     pub fn store(&self) -> Option<&StoreHandle> {
         self.store.as_ref()
+    }
+
+    /// The attached event sink, if any.
+    pub fn probe(&self) -> Option<&ProbeSink> {
+        self.probe.as_ref()
     }
 
     /// Runs every job and returns one [`CellResult`] per job, in submission order.
@@ -66,34 +94,102 @@ impl Engine {
     /// Panics when the attached store is corrupt, fails to decode a record, or fails an
     /// append — a broken cache is surfaced, never silently recomputed over.
     pub fn run(&self, jobs: Vec<Job>) -> Vec<CellResult> {
+        if let Some(sink) = &self.probe {
+            sink.emit(&Event::BatchOpened {
+                experiment: jobs
+                    .first()
+                    .map(|j| j.experiment.clone())
+                    .unwrap_or_default(),
+                cells: jobs.len(),
+            });
+        }
         let cached: Vec<Option<JobOutput>> = match &self.store {
-            Some(handle) => jobs.iter().map(|job| handle.fetch(job)).collect(),
+            Some(handle) => {
+                let _span = athena_probe::span(Phase::StoreFetch);
+                jobs.iter().map(|job| handle.fetch(job)).collect()
+            }
             None => jobs.iter().map(|_| None).collect(),
         };
+        if let Some(sink) = &self.probe {
+            for (job, hit) in jobs.iter().zip(&cached) {
+                if hit.is_some() {
+                    sink.emit(&Event::CellStoreHit {
+                        experiment: job.experiment.clone(),
+                        label: job.label(),
+                        seed: job.seed,
+                    });
+                }
+            }
+            if self.store.is_some() {
+                let hits = cached.iter().filter(|hit| hit.is_some()).count();
+                sink.emit(&Event::StoreFetch {
+                    hits,
+                    misses: jobs.len() - hits,
+                });
+            }
+            for (job, hit) in jobs.iter().zip(&cached) {
+                if hit.is_none() {
+                    sink.emit(&Event::CellScheduled {
+                        experiment: job.experiment.clone(),
+                        label: job.label(),
+                        seed: job.seed,
+                    });
+                }
+            }
+        }
         let misses: Vec<Job> = jobs
             .iter()
             .zip(&cached)
             .filter(|(_, hit)| hit.is_none())
             .map(|(job, _)| job.clone())
             .collect();
-        let outcomes = parallel_map(self.jobs, &misses, |job| job.run());
+        let total = misses.len();
+        let hits = jobs.len() - total;
+        let done = AtomicUsize::new(0);
+        let batch_start = Instant::now();
+        let outcomes = parallel_map(self.jobs, &misses, |job| {
+            // Stash the calling thread's accrual so the serial (`jobs == 1`) path does
+            // not fold the engine's own store-fetch/merge time into a cell's profile.
+            let stashed = athena_probe::swap_cell(PhaseProfile::new());
+            let output = {
+                let _span = athena_probe::span(Phase::Dispatch);
+                job.run()
+            };
+            let profile = athena_probe::swap_cell(stashed);
+            if self.progress {
+                let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                let elapsed = batch_start.elapsed().as_secs_f64();
+                let eta = elapsed / n as f64 * (total - n) as f64;
+                eprint!("\r[{n}/{total} cells simulated, {hits} cached, ~{eta:.0}s left]  ");
+            }
+            (output, (!profile.is_empty()).then_some(profile))
+        });
+        if self.progress && total > 0 {
+            eprintln!();
+        }
         if let Some(handle) = &self.store {
+            let mut persisted = 0usize;
             for (job, outcome) in misses.iter().zip(&outcomes) {
-                if let Ok((output, _)) = outcome {
+                if let Ok(((output, _), _)) = outcome {
                     handle.persist(job, output);
+                    persisted += 1;
                 }
+            }
+            if let Some(sink) = &self.probe {
+                sink.emit(&Event::StorePersist { cells: persisted });
             }
         }
         let mut fresh = outcomes.into_iter();
+        let merge_span = athena_probe::span(Phase::Merge);
         let cells: Vec<CellResult> = jobs
             .into_iter()
             .zip(cached)
             .map(|(job, hit)| {
-                let (output, wall, cached) = match hit {
-                    Some(output) => (Ok(output), Duration::ZERO, true),
+                let (output, wall, cached, profile) = match hit {
+                    Some(output) => (Ok(output), Duration::ZERO, true, None),
                     None => match fresh.next().expect("one simulated outcome per miss") {
-                        Ok((output, wall)) => (Ok(output), wall, false),
-                        Err(message) => (Err(message), Duration::ZERO, false),
+                        Ok(((output, profile), wall)) => (Ok(output), wall, false, profile),
+                        Err(message) => (Err(message), Duration::ZERO, false, None),
                     },
                 };
                 CellResult {
@@ -103,9 +199,31 @@ impl Engine {
                     wall,
                     cached,
                     output,
+                    profile,
                 }
             })
             .collect();
+        drop(merge_span);
+        if let Some(sink) = &self.probe {
+            for cell in cells.iter().filter(|c| !c.cached) {
+                sink.emit(&Event::CellStarted {
+                    experiment: cell.experiment.clone(),
+                    label: cell.label.clone(),
+                });
+                match &cell.output {
+                    Ok(_) => sink.emit(&Event::CellFinished {
+                        experiment: cell.experiment.clone(),
+                        label: cell.label.clone(),
+                        wall_ms: cell.wall.as_secs_f64() * 1e3,
+                    }),
+                    Err(error) => sink.emit(&Event::CellPanicked {
+                        experiment: cell.experiment.clone(),
+                        label: cell.label.clone(),
+                        error: error.clone(),
+                    }),
+                }
+            }
+        }
         record::record_cells(&cells);
         cells
     }
@@ -132,6 +250,10 @@ pub struct CellResult {
     pub cached: bool,
     /// The simulation result, or the panic message if the cell failed.
     pub output: Result<JobOutput, String>,
+    /// Per-phase hot-path profile of the cell's execution, when profiling
+    /// ([`athena_probe::set_profiling`]) was on while it simulated. Always `None` for
+    /// cached cells — a stored result costs no simulation time.
+    pub profile: Option<PhaseProfile>,
 }
 
 impl CellResult {

@@ -70,3 +70,9 @@ pub use table::ExperimentTable;
 pub use athena_store::{
     GcReport, RecordKey, ResultStore, StoreError, StorePolicy, StoreStats, VerifyReport,
 };
+
+// Re-exported so observability consumers (the CLIs, the tune crate) need only this crate.
+pub use athena_probe::{
+    profiling_enabled, set_profiling, swap_cell, take_cell, Event, Phase, PhaseProfile, PhaseStat,
+    ProbeSink, ALL_PHASES, EVENTS_SCHEMA_ID, WALL_CLOCK_FIELDS,
+};

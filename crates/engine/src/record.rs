@@ -45,6 +45,9 @@ pub struct CellRecord {
     /// The cell's windowed time series, when its job requested telemetry (single-core
     /// cells only; `None` otherwise).
     pub timeline: Option<Timeline>,
+    /// The cell's hot-path phase profile, when profiling was on while it simulated
+    /// (`None` for cached and failed cells).
+    pub profile: Option<athena_probe::PhaseProfile>,
 }
 
 impl CellRecord {
@@ -67,6 +70,9 @@ impl CellRecord {
         }
         if let Some(t) = &self.timeline {
             pairs.push(("timeline", timeline_json(t)));
+        }
+        if let Some(p) = &self.profile {
+            pairs.push(("profile", crate::report::phase_profile_json(p)));
         }
         Json::obj(pairs)
     }
@@ -129,6 +135,7 @@ pub(crate) fn record_cells(cells: &[CellResult]) {
                     Ok(JobOutput::Single(r)) => r.timeline.clone(),
                     _ => None,
                 },
+                profile: c.profile,
             }));
         }
     });

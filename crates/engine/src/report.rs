@@ -48,6 +48,12 @@ pub const TUNE_BENCH_SCHEMA: Schema = Schema::new("tune-bench", 1);
 /// Schema of one result-store record payload ([`job_output_json`] wrapped by the engine's
 /// store module).
 pub const RESULT_RECORD_SCHEMA: Schema = Schema::new("result-record", 1);
+/// Schema of the engine's structured event-stream lines (`--events`). The sink itself
+/// lives below this crate in `athena-probe`, which carries the rendered id as a literal
+/// ([`athena_probe::EVENTS_SCHEMA_ID`]); a test here asserts the two agree.
+pub const EVENTS_SCHEMA: Schema = Schema::new("events", 1);
+/// Schema of the `BENCH_sim.json` snapshot (the `figures --profile` per-phase aggregate).
+pub const SIM_BENCH_SCHEMA: Schema = Schema::new("sim-bench", 1);
 
 impl Schema {
     /// A schema constant.
@@ -100,6 +106,31 @@ pub fn figure_report(
             "cells",
             Json::arr(cells.iter().map(CellRecord::to_json).collect()),
         ),
+    ])
+}
+
+/// Serialises a hot-path phase profile: one object per non-empty phase (in hierarchy
+/// order) with call count and self-time nanoseconds, plus the phase-disjoint total. Used
+/// by the per-cell report records and the `BENCH_sim.json` aggregate.
+pub fn phase_profile_json(p: &athena_probe::PhaseProfile) -> Json {
+    Json::obj(vec![
+        (
+            "phases",
+            Json::obj(
+                p.stats()
+                    .map(|s| {
+                        (
+                            s.phase.name(),
+                            Json::obj(vec![
+                                ("calls", u64_json(s.calls)),
+                                ("nanos", u64_json(s.nanos)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        ("total_nanos", u64_json(p.total_nanos())),
     ])
 }
 
@@ -927,6 +958,30 @@ mod tests {
     }
 
     #[test]
+    fn events_schema_agrees_with_the_probe_crate() {
+        // athena-probe sits below this crate and carries the rendered id as a literal;
+        // the Schema constant here is the single registry of document schemas.
+        assert_eq!(EVENTS_SCHEMA.id(), athena_probe::EVENTS_SCHEMA_ID);
+        assert_eq!(SIM_BENCH_SCHEMA.id(), "athena-sim-bench-v1");
+    }
+
+    #[test]
+    fn phase_profiles_serialise_nonempty_phases_in_order() {
+        use athena_probe::{Phase, PhaseProfile};
+        let mut p = PhaseProfile::new();
+        p.record(Phase::Dram, 250);
+        p.record(Phase::CoreStep, 1_000);
+        p.record(Phase::Dispatch, 50);
+        let text = phase_profile_json(&p).to_string();
+        assert_eq!(
+            text,
+            "{\"phases\":{\"core_step\":{\"calls\":1,\"nanos\":1000},\
+             \"dram\":{\"calls\":1,\"nanos\":250},\
+             \"dispatch\":{\"calls\":1,\"nanos\":50}},\"total_nanos\":1300}"
+        );
+    }
+
+    #[test]
     fn figure_report_embeds_table_and_cells() {
         let mut table = ExperimentTable::new("T", "policy", vec!["overall".into()]);
         table.push_row("athena", vec![1.1]);
@@ -939,6 +994,7 @@ mod tests {
             error: None,
             dram: None,
             timeline: None,
+            profile: None,
         }];
         let text = figure_report("fig7", 2, Duration::from_millis(5), &table, &cells).to_string();
         assert!(text.contains("athena-figure-result-v1"));

@@ -23,11 +23,18 @@
 //! the same options simulates nothing while producing byte-identical tables.
 
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use athena_engine::report::{figure_report, timeline_report, BenchReport, ExperimentBench};
-use athena_engine::{available_parallelism, with_recording};
-use athena_harness::cli::FIGURES_HELP as HELP;
+use athena_engine::json::Json;
+use athena_engine::report::{
+    figure_report, phase_profile_json, timeline_report, BenchReport, ExperimentBench,
+    SIM_BENCH_SCHEMA,
+};
+use athena_engine::{
+    available_parallelism, set_profiling, take_cell, with_recording, CellRecord, Event,
+    PhaseProfile, ProbeSink,
+};
+use athena_harness::cli::{fail, fail_env, FIGURES_HELP as HELP};
 use athena_harness::experiments::{experiment_names, run_experiment};
 use athena_harness::timeline::timeline_study;
 use athena_harness::{RunOptions, StoreHandle, StorePolicy};
@@ -40,6 +47,9 @@ struct Args {
     json: bool,
     bench_report: bool,
     timeline: bool,
+    /// Hot-path phase profiling (the `--profile` flag): print a per-phase breakdown and
+    /// write `BENCH_sim.json` + `profile.folded`.
+    profile: bool,
     /// Telemetry window length for `--timeline` (the `--window` flag).
     window: u64,
     /// The parallel worker count used by `--bench-report` (the `--jobs` flag, or every
@@ -69,6 +79,9 @@ fn parse_args() -> Result<Args, String> {
     let mut window: Option<u64> = None;
     let mut store_dir: Option<PathBuf> = None;
     let mut store_policy: Option<String> = None;
+    let mut events: Option<PathBuf> = None;
+    let mut progress = false;
+    let mut profile = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -133,6 +146,11 @@ fn parse_args() -> Result<Args, String> {
             "--store-policy" => {
                 store_policy = Some(args.next().ok_or("--store-policy needs a value")?)
             }
+            "--events" => {
+                events = Some(PathBuf::from(args.next().ok_or("--events needs a value")?))
+            }
+            "--progress" => progress = true,
+            "--profile" => profile = true,
             "--out" => out_dir = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
             "--list" => {
                 for n in experiment_names() {
@@ -177,6 +195,20 @@ fn parse_args() -> Result<Args, String> {
     if window.is_some() && !timeline {
         return Err("--window only applies to --timeline".to_string());
     }
+    if profile && bench_report {
+        return Err(
+            "--bench-report measures raw simulation wall-clock; the profiler's spans \
+             would be part of the measurement — drop --profile"
+                .to_string(),
+        );
+    }
+    if profile && timeline {
+        return Err(
+            "--profile aggregates over figure sweeps; the timeline study has its own \
+             output mode — drop one of them"
+                .to_string(),
+        );
+    }
     if all {
         figs = experiment_names().iter().map(|s| s.to_string()).collect();
     }
@@ -217,6 +249,14 @@ fn parse_args() -> Result<Args, String> {
     if let Some(dir) = store_dir.filter(|_| policy != StorePolicy::Off) {
         opts.store = Some(open_store(&dir, policy));
     }
+    // An unwritable event log is an environment failure, surfaced before simulation.
+    if let Some(path) = events {
+        opts.probe = Some(
+            ProbeSink::create(&path)
+                .unwrap_or_else(|e| fail_env(format!("event log {}: {e}", path.display()))),
+        );
+    }
+    opts.progress = progress;
     Ok(Args {
         figs,
         opts,
@@ -224,6 +264,7 @@ fn parse_args() -> Result<Args, String> {
         json,
         bench_report,
         timeline,
+        profile,
         window: window.unwrap_or(DEFAULT_WINDOW_INSTRUCTIONS),
         parallel_jobs,
     })
@@ -234,25 +275,28 @@ fn parse_args() -> Result<Args, String> {
 fn open_store(dir: &std::path::Path, policy: StorePolicy) -> StoreHandle {
     match StoreHandle::open(dir, policy) {
         Ok(handle) => handle,
-        Err(e) => {
-            eprintln!("error: result store {}: {e}", dir.display());
-            std::process::exit(1);
-        }
+        Err(e) => fail_env(format!("result store {}: {e}", dir.display())),
     }
 }
 
-fn write_file(path: &std::path::Path, contents: &str) {
+/// Writes one report file (creating parent directories), announcing it on stdout and —
+/// when an event sink is attached — as a `report_written` event.
+fn write_file(probe: Option<&ProbeSink>, path: &std::path::Path, contents: &str) {
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
             if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!("error: cannot create {}: {e}", dir.display());
-                std::process::exit(1);
+                fail_env(format!("cannot create {}: {e}", dir.display()));
             }
         }
     }
     if let Err(e) = std::fs::write(path, contents) {
-        eprintln!("error: cannot write {}: {e}", path.display());
-        std::process::exit(1);
+        fail_env(format!("cannot write {}: {e}", path.display()));
+    }
+    if let Some(sink) = probe {
+        sink.emit(&Event::ReportWritten {
+            path: path.display().to_string(),
+            bytes: contents.len(),
+        });
     }
     println!("wrote {}", path.display());
 }
@@ -265,8 +309,7 @@ fn run_bench_report(args: &Args) {
         let serial_opts = args.opts.clone().with_jobs(1);
         let start = Instant::now();
         let Some(serial_table) = run_experiment(fig, &serial_opts) else {
-            eprintln!("error: unknown experiment '{fig}' (see --list)");
-            std::process::exit(2);
+            fail(format!("unknown experiment '{fig}' (see --list)"));
         };
         let serial = start.elapsed();
 
@@ -303,15 +346,18 @@ fn run_bench_report(args: &Args) {
         report.all_identical()
     );
     if !report.all_identical() {
-        eprintln!("error: parallel tables diverged from the serial run");
-        std::process::exit(1);
+        fail_env("parallel tables diverged from the serial run");
     }
     // `--out DIR` relocates the snapshot; by default it lands in the working directory.
     let path = match &args.out_dir {
         Some(dir) => dir.join("BENCH_engine.json"),
         None => PathBuf::from("BENCH_engine.json"),
     };
-    write_file(&path, &report.to_json().to_pretty());
+    write_file(
+        args.opts.probe.as_ref(),
+        &path,
+        &report.to_json().to_pretty(),
+    );
 }
 
 /// `--timeline`: the windowed-telemetry study. Prints the learning-curve table and writes
@@ -340,23 +386,163 @@ fn run_timeline(args: &Args) {
         .clone()
         .unwrap_or_else(|| PathBuf::from("results"))
         .join("timeline");
-    write_file(&dir.join("learning_curve.csv"), &study.curves.to_csv());
+    let probe = args.opts.probe.as_ref();
+    write_file(
+        probe,
+        &dir.join("learning_curve.csv"),
+        &study.curves.to_csv(),
+    );
     for cell in &study.cells {
         let stem = format!("{}.{}.timeline", cell.workload, cell.coordinator);
-        write_file(&dir.join(format!("{stem}.csv")), &cell.timeline.to_csv());
+        write_file(
+            probe,
+            &dir.join(format!("{stem}.csv")),
+            &cell.timeline.to_csv(),
+        );
         let doc = timeline_report(&cell.workload, &cell.coordinator, cell.seed, &cell.timeline);
-        write_file(&dir.join(format!("{stem}.json")), &doc.to_pretty());
+        write_file(probe, &dir.join(format!("{stem}.json")), &doc.to_pretty());
     }
+}
+
+/// One profiled cell retained for the `--profile` report.
+struct ProfiledCell {
+    experiment: String,
+    label: String,
+    wall: Duration,
+    profile: PhaseProfile,
+}
+
+impl ProfiledCell {
+    /// Fraction of the cell's recorded wall-clock the phase totals account for. The
+    /// `dispatch` root span wraps the whole cell, so this sits near 1.0 (the acceptance
+    /// criterion asks for within 10%).
+    fn coverage(&self) -> f64 {
+        self.profile.total_nanos() as f64 / (self.wall.as_nanos() as f64).max(1.0)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("experiment", Json::str(&self.experiment)),
+            ("label", Json::str(&self.label)),
+            ("wall_ms", Json::num(self.wall.as_secs_f64() * 1e3)),
+            ("coverage", Json::num(self.coverage())),
+            ("profile", phase_profile_json(&self.profile)),
+        ])
+    }
+}
+
+/// `--profile` epilogue: prints the per-phase breakdown and the slowest cells, and writes
+/// `BENCH_sim.json` (schema `athena-sim-bench-v1`) + `profile.folded` (flamegraph
+/// collapsed-stack lines) into `--out DIR` or the working directory.
+fn write_profile_report(args: &Args, mut cells: Vec<ProfiledCell>) {
+    // Everything the engine accrued on this (calling) thread outside the cells
+    // themselves: store fetches and batch merges.
+    let engine_side = take_cell().unwrap_or_default();
+    let mut cell_agg = PhaseProfile::new();
+    for cell in &cells {
+        cell_agg.merge(&cell.profile);
+    }
+    let mut total = cell_agg;
+    total.merge(&engine_side);
+
+    let grand_nanos = total.total_nanos().max(1);
+    println!("hot-path profile ({} simulated cells):", cells.len());
+    println!(
+        "  {:<20} {:>12} {:>14} {:>7}",
+        "phase", "calls", "total ms", "share"
+    );
+    for stat in total.stats() {
+        println!(
+            "  {:<20} {:>12} {:>14.3} {:>6.1}%",
+            stat.phase.name(),
+            stat.calls,
+            stat.nanos as f64 / 1e6,
+            stat.nanos as f64 * 100.0 / grand_nanos as f64,
+        );
+    }
+
+    cells.sort_by(|a, b| b.wall.cmp(&a.wall).then_with(|| a.label.cmp(&b.label)));
+    let top: Vec<&ProfiledCell> = cells.iter().take(5).collect();
+    if !top.is_empty() {
+        println!("slowest cells:");
+        for cell in &top {
+            println!(
+                "  {:<44} {:>9.1} ms  (phases cover {:.1}% of wall)",
+                format!("{}:{}", cell.experiment, cell.label),
+                cell.wall.as_secs_f64() * 1e3,
+                cell.coverage() * 100.0,
+            );
+        }
+    }
+    println!();
+
+    let coverages: Vec<f64> = cells
+        .iter()
+        .filter(|c| c.wall > Duration::ZERO)
+        .map(ProfiledCell::coverage)
+        .collect();
+    let doc = SIM_BENCH_SCHEMA.document(vec![
+        ("jobs", Json::int(args.opts.jobs)),
+        ("instructions", Json::num(args.opts.instructions as f64)),
+        (
+            "workload_limit",
+            match args.opts.workload_limit {
+                Some(w) => Json::int(w),
+                None => Json::Null,
+            },
+        ),
+        (
+            "experiments",
+            Json::arr(args.figs.iter().map(Json::str).collect()),
+        ),
+        ("profiled_cells", Json::int(cells.len())),
+        (
+            "coverage",
+            Json::obj(vec![
+                (
+                    "min",
+                    Json::num(coverages.iter().copied().fold(f64::INFINITY, f64::min)),
+                ),
+                (
+                    "mean",
+                    Json::num(coverages.iter().sum::<f64>() / coverages.len().max(1) as f64),
+                ),
+            ]),
+        ),
+        ("aggregate", phase_profile_json(&total)),
+        ("cell_phases", phase_profile_json(&cell_agg)),
+        ("engine_phases", phase_profile_json(&engine_side)),
+        (
+            "top_cells",
+            Json::arr(top.iter().map(|c| c.to_json()).collect()),
+        ),
+    ]);
+    let dir = args.out_dir.clone().unwrap_or_else(|| PathBuf::from("."));
+    write_file(
+        args.opts.probe.as_ref(),
+        &dir.join("BENCH_sim.json"),
+        &doc.to_pretty(),
+    );
+    // Collapsed-stack lines (`frame;frame value`), loadable by flamegraph tooling.
+    let folded: String = total
+        .stats()
+        .map(|s| format!("{} {}\n", s.phase.stack_path(), s.nanos))
+        .collect();
+    write_file(
+        args.opts.probe.as_ref(),
+        &dir.join("profile.folded"),
+        &folded,
+    );
 }
 
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
+        Err(e) => fail(e),
     };
+    if args.profile {
+        set_profiling(true);
+    }
     if args.bench_report {
         run_bench_report(&args);
         return;
@@ -372,6 +558,7 @@ fn main() {
         .unwrap_or_else(|| PathBuf::from("results"));
     let mut total_simulated = 0usize;
     let mut total_cached = 0usize;
+    let mut profiled: Vec<ProfiledCell> = Vec::new();
     for fig in &args.figs {
         let start = Instant::now();
         let (table, cells) = with_recording(|| run_experiment(fig, &args.opts));
@@ -391,18 +578,33 @@ fn main() {
                     "[{fig} completed in {elapsed:.1?} with {} jobs{store_note}]\n",
                     args.opts.jobs
                 );
+                if args.profile {
+                    profiled.extend(cells.iter().filter_map(|c: &CellRecord| {
+                        c.profile.map(|profile| ProfiledCell {
+                            experiment: c.experiment.clone(),
+                            label: c.label.clone(),
+                            wall: c.wall,
+                            profile,
+                        })
+                    }));
+                }
                 if let Some(dir) = &args.out_dir {
-                    write_file(&dir.join(format!("{fig}.csv")), &table.to_csv());
+                    write_file(
+                        args.opts.probe.as_ref(),
+                        &dir.join(format!("{fig}.csv")),
+                        &table.to_csv(),
+                    );
                 }
                 if args.json {
                     let doc = figure_report(fig, args.opts.jobs, elapsed, &table, &cells);
-                    write_file(&json_dir.join(format!("{fig}.json")), &doc.to_pretty());
+                    write_file(
+                        args.opts.probe.as_ref(),
+                        &json_dir.join(format!("{fig}.json")),
+                        &doc.to_pretty(),
+                    );
                 }
             }
-            None => {
-                eprintln!("error: unknown experiment '{fig}' (see --list)");
-                std::process::exit(2);
-            }
+            None => fail(format!("unknown experiment '{fig}' (see --list)")),
         }
     }
     if let Some(store) = &args.opts.store {
@@ -410,5 +612,8 @@ fn main() {
             "[store] {total_simulated} simulated, {total_cached} cached ({})",
             store.dir().display()
         );
+    }
+    if args.profile {
+        write_profile_report(&args, profiled);
     }
 }

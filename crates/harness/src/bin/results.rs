@@ -6,18 +6,22 @@
 //! cargo run --release -p athena-harness --bin results -- diff --store a/ --against b/
 //! cargo run --release -p athena-harness --bin results -- gc --store results/store
 //! cargo run --release -p athena-harness --bin results -- verify --store results/store
+//! cargo run --release -p athena-harness --bin results -- events results/events.jsonl
 //! ```
 //!
-//! Every command except `gc` opens the store read-only and takes no writer lock, so a
-//! running sweep can be inspected live. `verify` exits non-zero on any corruption;
-//! `diff` exits non-zero when the two stores disagree. Run `results --help` for the
-//! full reference (also rendered into `docs/CLI.md`).
+//! Every store command except `gc` opens the store read-only and takes no writer lock,
+//! so a running sweep can be inspected live. `verify` exits non-zero on any corruption;
+//! `diff` exits non-zero when the two stores disagree. `events` works on an event log
+//! written by `figures --events` / `tune --events` rather than a store: it summarises
+//! the run — event counts by kind, the store cache-hit ratio, the slowest simulated
+//! cells. Run `results --help` for the full reference (also rendered into
+//! `docs/CLI.md`).
 
 use std::path::PathBuf;
 
 use athena_engine::json::Json;
-use athena_engine::{RecordKey, StoreHandle, StorePolicy};
-use athena_harness::cli::RESULTS_HELP as HELP;
+use athena_engine::{RecordKey, StoreHandle, StorePolicy, EVENTS_SCHEMA_ID};
+use athena_harness::cli::{fail, fail_env, RESULTS_HELP as HELP};
 
 #[derive(PartialEq)]
 enum Command {
@@ -26,11 +30,15 @@ enum Command {
     Diff,
     Gc,
     Verify,
+    Events,
 }
 
 struct Args {
     command: Command,
+    /// The store directory; empty (and unused) for `events`.
     store: PathBuf,
+    /// `events` only: the event log file.
+    events_file: PathBuf,
     /// `diff` only: the second store.
     against: Option<PathBuf>,
     /// `query` filters (exact match on the record envelope's fields).
@@ -43,6 +51,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut command = None;
     let mut store = None;
+    let mut events_file = None;
     let mut against = None;
     let mut experiment = None;
     let mut workload = None;
@@ -60,6 +69,13 @@ fn parse_args() -> Result<Args, String> {
             "diff" if command.is_none() => command = Some(Command::Diff),
             "gc" if command.is_none() => command = Some(Command::Gc),
             "verify" if command.is_none() => command = Some(Command::Verify),
+            "events" if command.is_none() => {
+                command = Some(Command::Events);
+                events_file = Some(PathBuf::from(
+                    args.next()
+                        .ok_or("events needs an event log file (results events <FILE>)")?,
+                ));
+            }
             "--store" => store = Some(PathBuf::from(value("--store")?)),
             "--against" => against = Some(PathBuf::from(value("--against")?)),
             "--experiment" => experiment = Some(value("--experiment")?),
@@ -77,8 +93,17 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument: {other}")),
         }
     }
-    let command = command.ok_or("no command given (stats, query, diff, gc, verify)")?;
-    let store = store.ok_or("--store <DIR> is required")?;
+    let command = command.ok_or("no command given (stats, query, diff, gc, verify, events)")?;
+    let store = match (&command, store) {
+        (Command::Events, Some(_)) => {
+            return Err(
+                "--store does not apply to events (pass the log file as its argument)".to_string(),
+            )
+        }
+        (Command::Events, None) => PathBuf::new(),
+        (_, Some(dir)) => dir,
+        (_, None) => return Err("--store <DIR> is required".to_string()),
+    };
     if command == Command::Diff && against.is_none() {
         return Err("diff needs --against <DIR>".to_string());
     }
@@ -93,6 +118,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         command,
         store,
+        events_file: events_file.unwrap_or_default(),
         against,
         experiment,
         workload,
@@ -106,10 +132,7 @@ fn parse_args() -> Result<Args, String> {
 fn open(dir: &std::path::Path, policy: StorePolicy) -> StoreHandle {
     match StoreHandle::open(dir, policy) {
         Ok(handle) => handle,
-        Err(e) => {
-            eprintln!("error: result store {}: {e}", dir.display());
-            std::process::exit(1);
-        }
+        Err(e) => fail_env(format!("result store {}: {e}", dir.display())),
     }
 }
 
@@ -184,17 +207,11 @@ fn run_query(args: &Args) {
         let payload = match store.get(key) {
             Ok(Some(p)) => p,
             Ok(None) => continue,
-            Err(e) => {
-                eprintln!("error: result store {}: {e}", args.store.display());
-                std::process::exit(1);
-            }
+            Err(e) => fail_env(format!("result store {}: {e}", args.store.display())),
         };
         let env = match envelope(key, &payload) {
             Ok(env) => env,
-            Err(e) => {
-                eprintln!("error: result store {}: {e}", args.store.display());
-                std::process::exit(1);
-            }
+            Err(e) => fail_env(format!("result store {}: {e}", args.store.display())),
         };
         if args
             .experiment
@@ -253,10 +270,9 @@ fn run_diff(args: &Args) {
     let mut a = a_handle.lock();
     let mut b = b_handle.lock();
     let fetch = |store: &mut athena_engine::ResultStore, dir: &std::path::Path, key: RecordKey| {
-        store.get(key).unwrap_or_else(|e| {
-            eprintln!("error: result store {}: {e}", dir.display());
-            std::process::exit(1);
-        })
+        store
+            .get(key)
+            .unwrap_or_else(|e| fail_env(format!("result store {}: {e}", dir.display())))
     };
     let mut only_a = Vec::new();
     let mut only_b = Vec::new();
@@ -339,13 +355,10 @@ fn run_gc(args: &Args) {
     let handle = open(&args.store, StorePolicy::ReadWrite);
     let report = match handle.lock().gc() {
         Ok(r) => r,
-        Err(e) => {
-            eprintln!(
-                "error: result store {}: gc failed: {e}",
-                args.store.display()
-            );
-            std::process::exit(1);
-        }
+        Err(e) => fail_env(format!(
+            "result store {}: gc failed: {e}",
+            args.store.display()
+        )),
     };
     if args.json {
         let doc = Json::obj(vec![
@@ -372,13 +385,10 @@ fn run_verify(args: &Args) {
     let handle = open(&args.store, StorePolicy::ReadOnly);
     let report = match handle.lock().verify() {
         Ok(r) => r,
-        Err(e) => {
-            eprintln!(
-                "error: result store {}: verify failed: {e}",
-                args.store.display()
-            );
-            std::process::exit(1);
-        }
+        Err(e) => fail_env(format!(
+            "result store {}: verify failed: {e}",
+            args.store.display()
+        )),
     };
     if args.json {
         let doc = Json::obj(vec![
@@ -403,13 +413,139 @@ fn run_verify(args: &Args) {
     }
 }
 
+/// `events <FILE>`: summarise an event log written by `figures --events` /
+/// `tune --events` — counts by kind, the store cache-hit ratio, the slowest cells.
+fn run_events(args: &Args) {
+    let path = &args.events_file;
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail_env(format!("event log {}: {e}", path.display())));
+    let mut by_kind: Vec<(String, usize)> = Vec::new();
+    let mut hits = 0usize;
+    let mut scheduled = 0usize;
+    let mut panicked = 0usize;
+    let mut reports = 0usize;
+    let mut report_bytes = 0.0f64;
+    let mut finished: Vec<(String, String, f64)> = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let malformed = |what: &str| -> ! {
+            fail_env(format!(
+                "event log {}: line {}: {what}",
+                path.display(),
+                idx + 1
+            ))
+        };
+        let doc = Json::parse(line).unwrap_or_else(|e| malformed(&format!("not JSON: {e}")));
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(schema) if schema == EVENTS_SCHEMA_ID => {}
+            Some(schema) => malformed(&format!("schema '{schema}' is not '{EVENTS_SCHEMA_ID}'")),
+            None => malformed("no 'schema' field"),
+        }
+        let kind = doc
+            .get("kind")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| malformed("no 'kind' field"))
+            .to_string();
+        match by_kind.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, n)) => *n += 1,
+            None => by_kind.push((kind.clone(), 1)),
+        }
+        match kind.as_str() {
+            "cell_store_hit" => hits += 1,
+            "cell_scheduled" => scheduled += 1,
+            "cell_panicked" => panicked += 1,
+            "report_written" => {
+                reports += 1;
+                report_bytes += doc.get("bytes").and_then(Json::as_f64).unwrap_or(0.0);
+            }
+            "cell_finished" => finished.push((
+                doc.get("experiment")
+                    .and_then(Json::as_str)
+                    .unwrap_or_else(|| malformed("cell_finished without 'experiment'"))
+                    .to_string(),
+                doc.get("label")
+                    .and_then(Json::as_str)
+                    .unwrap_or_else(|| malformed("cell_finished without 'label'"))
+                    .to_string(),
+                doc.get("wall_ms")
+                    .and_then(Json::as_f64)
+                    .unwrap_or_else(|| malformed("cell_finished without 'wall_ms'")),
+            )),
+            _ => {}
+        }
+    }
+    let total: usize = by_kind.iter().map(|(_, n)| n).sum();
+    by_kind.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let cells = hits + scheduled;
+    let hit_ratio = if cells > 0 {
+        hits as f64 / cells as f64
+    } else {
+        0.0
+    };
+    finished.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.1.cmp(&b.1)));
+    finished.truncate(5);
+    if args.json {
+        let doc = Json::obj(vec![
+            ("log", Json::str(path.display().to_string())),
+            ("schema", Json::str(EVENTS_SCHEMA_ID)),
+            ("events", Json::int(total)),
+            (
+                "by_kind",
+                Json::obj(
+                    by_kind
+                        .iter()
+                        .map(|(k, n)| (k.as_str(), Json::int(*n)))
+                        .collect(),
+                ),
+            ),
+            ("cells", Json::int(cells)),
+            ("store_hits", Json::int(hits)),
+            ("cache_hit_ratio", Json::num(hit_ratio)),
+            ("panicked", Json::int(panicked)),
+            ("reports_written", Json::int(reports)),
+            ("report_bytes", Json::num(report_bytes)),
+            (
+                "slowest_cells",
+                Json::arr(
+                    finished
+                        .iter()
+                        .map(|(experiment, label, wall_ms)| {
+                            Json::obj(vec![
+                                ("experiment", Json::str(experiment)),
+                                ("label", Json::str(label)),
+                                ("wall_ms", Json::num(*wall_ms)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!("{}", doc.to_pretty());
+    } else {
+        println!("{}: {total} events ({EVENTS_SCHEMA_ID})", path.display());
+        for (kind, n) in &by_kind {
+            println!("  {kind:<16} {n:>8}");
+        }
+        println!(
+            "cells: {cells} ({hits} served from the store, {:.1}% hit ratio); {panicked} panicked",
+            hit_ratio * 100.0
+        );
+        println!("reports: {reports} files, {report_bytes:.0} bytes");
+        if !finished.is_empty() {
+            println!("slowest cells:");
+            for (experiment, label, wall_ms) in &finished {
+                println!("  {experiment}:{label:<40} {wall_ms:>9.1} ms");
+            }
+        }
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
+        Err(e) => fail(e),
     };
     match args.command {
         Command::Stats => run_stats(&args),
@@ -417,5 +553,6 @@ fn main() {
         Command::Diff => run_diff(&args),
         Command::Gc => run_gc(&args),
         Command::Verify => run_verify(&args),
+        Command::Events => run_events(&args),
     }
 }

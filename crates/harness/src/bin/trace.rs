@@ -21,18 +21,13 @@
 
 use std::path::{Path, PathBuf};
 
-use athena_harness::cli::TRACE_HELP as HELP;
+use athena_harness::cli::{fail, TRACE_HELP as HELP};
 use athena_harness::experiments::{standard_mixes, workload_set};
 use athena_harness::RunOptions;
 use athena_trace_io::{convert, open_trace, record_trace, sniff_format, TraceFormat, TraceSummary};
 use athena_workloads::{
     all_workloads, find_workload, google_like_workloads, tuning_workloads, WorkloadSpec,
 };
-
-fn fail(message: impl std::fmt::Display) -> ! {
-    eprintln!("error: {message}");
-    std::process::exit(2);
-}
 
 /// Selection accumulated by the `record` flag parser.
 struct RecordArgs {

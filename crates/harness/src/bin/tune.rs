@@ -23,9 +23,9 @@ use std::time::Instant;
 use athena_engine::json::Json;
 use athena_engine::report::TUNE_BENCH_SCHEMA;
 use athena_engine::{available_parallelism, with_recording};
-use athena_harness::cli::TUNE_HELP as HELP;
+use athena_harness::cli::{fail, fail_env, TUNE_HELP as HELP};
 use athena_harness::experiments::tuning_set;
-use athena_harness::{RunOptions, StoreHandle, StorePolicy};
+use athena_harness::{ProbeSink, RunOptions, StoreHandle, StorePolicy};
 use athena_tune::{tune, DesignSpace, Leaderboard, Objective, TuneOptions, TuneStrategy};
 
 struct Args {
@@ -60,6 +60,8 @@ fn parse_args() -> Result<Args, String> {
     let mut bench_report = false;
     let mut store_dir: Option<PathBuf> = None;
     let mut store_policy: Option<String> = None;
+    let mut events: Option<PathBuf> = None;
+    let mut progress = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -127,6 +129,8 @@ fn parse_args() -> Result<Args, String> {
                      coverage-weighted, bandwidth-aware)"
                 ))?;
             }
+            "--events" => events = Some(PathBuf::from(value("--events")?)),
+            "--progress" => progress = true,
             "--store" => store_dir = Some(PathBuf::from(value("--store")?)),
             "--store-policy" => store_policy = Some(value("--store-policy")?),
             "--out" => out_dir = Some(PathBuf::from(value("--out")?)),
@@ -208,12 +212,17 @@ fn parse_args() -> Result<Args, String> {
                 run.store = Some(handle.clone());
                 tune_opts = tune_opts.with_store(handle);
             }
-            Err(e) => {
-                eprintln!("error: result store {}: {e}", dir.display());
-                std::process::exit(1);
-            }
+            Err(e) => fail_env(format!("result store {}: {e}", dir.display())),
         }
     }
+    if let Some(path) = events {
+        let sink = ProbeSink::create(&path)
+            .unwrap_or_else(|e| fail_env(format!("event log {}: {e}", path.display())));
+        run.probe = Some(sink.clone());
+        tune_opts = tune_opts.with_probe(sink);
+    }
+    run.progress = progress;
+    tune_opts = tune_opts.with_progress(progress);
     Ok(Args {
         space,
         strategy,
@@ -226,18 +235,22 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
-fn write_file(path: &std::path::Path, contents: &str) {
+fn write_file(probe: Option<&ProbeSink>, path: &std::path::Path, contents: &str) {
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
             if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!("error: cannot create {}: {e}", dir.display());
-                std::process::exit(1);
+                fail_env(format!("cannot create {}: {e}", dir.display()));
             }
         }
     }
     if let Err(e) = std::fs::write(path, contents) {
-        eprintln!("error: cannot write {}: {e}", path.display());
-        std::process::exit(1);
+        fail_env(format!("cannot write {}: {e}", path.display()));
+    }
+    if let Some(sink) = probe {
+        sink.emit(&athena_engine::Event::ReportWritten {
+            path: path.display().to_string(),
+            bytes: contents.len(),
+        });
     }
     println!("wrote {}", path.display());
 }
@@ -284,7 +297,11 @@ fn print_summary(board: &Leaderboard, top: usize) {
 /// `--bench-report`: the same search at `--jobs 1` and at the parallel worker count, a
 /// byte-identity check between the two leaderboards, and a `BENCH_tune.json` snapshot.
 fn run_bench_report(args: &Args, board: &Leaderboard, parallel_wall: std::time::Duration) {
-    let serial_opts = args.tune_opts.clone().with_jobs(1);
+    // The serial verification pass is not part of the observed run: it would interleave a
+    // second batch of events into the same log and double the profile counts.
+    let mut serial_opts = args.tune_opts.clone().with_jobs(1);
+    serial_opts.probe = None;
+    serial_opts.progress = false;
     let start = Instant::now();
     let serial = tune(
         &args.space,
@@ -302,8 +319,7 @@ fn run_bench_report(args: &Args, board: &Leaderboard, parallel_wall: std::time::
         args.parallel_jobs
     );
     if !identical {
-        eprintln!("error: parallel leaderboard diverged from the serial run");
-        std::process::exit(1);
+        fail_env("parallel leaderboard diverged from the serial run");
     }
     let host = available_parallelism();
     let mut pairs = vec![
@@ -331,6 +347,7 @@ fn run_bench_report(args: &Args, board: &Leaderboard, parallel_wall: std::time::
         ("identical_to_serial", Json::Bool(identical)),
     ]);
     write_file(
+        args.run.probe.as_ref(),
         // An explicit --out relocates the snapshot; by default it lands in the working
         // directory, next to BENCH_engine.json (so the committed root copy regenerates
         // from the README's `tune --quick --bench-report` as-is).
@@ -345,10 +362,7 @@ fn run_bench_report(args: &Args, board: &Leaderboard, parallel_wall: std::time::
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
+        Err(e) => fail(e),
     };
     let workloads = tuning_set(&args.run);
     let start = Instant::now();
@@ -374,9 +388,18 @@ fn main() {
         .out_dir
         .clone()
         .unwrap_or_else(|| PathBuf::from("results/tune"));
-    write_file(&dir.join("leaderboard.csv"), &board.to_csv());
-    write_file(&dir.join("leaderboard.json"), &board.to_json().to_pretty());
-    write_file(&dir.join("best.json"), &board.best_json().to_pretty());
+    let probe = args.run.probe.as_ref();
+    write_file(probe, &dir.join("leaderboard.csv"), &board.to_csv());
+    write_file(
+        probe,
+        &dir.join("leaderboard.json"),
+        &board.to_json().to_pretty(),
+    );
+    write_file(
+        probe,
+        &dir.join("best.json"),
+        &board.best_json().to_pretty(),
+    );
     if args.bench_report {
         run_bench_report(&args, &board, wall);
     }

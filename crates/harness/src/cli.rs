@@ -1,10 +1,27 @@
-//! The help text of the harness binaries, and the generator for `docs/CLI.md`.
+//! The help text of the harness binaries, the generator for `docs/CLI.md`, and the
+//! shared failure helpers every binary exits through.
 //!
-//! Both CLIs print these constants for `--help`; the `cli_reference` example renders them
+//! All CLIs print these constants for `--help`; the `cli_reference` example renders them
 //! into `docs/CLI.md`, and CI regenerates that file and fails on any drift — so the
 //! committed CLI reference can never disagree with what the binaries actually say. To
 //! change a flag's documentation, edit the constant here and re-run
 //! `cargo run --release -p athena-harness --example cli_reference > docs/CLI.md`.
+
+/// Prints `error: <message>` to stderr and exits with code 2 — the usage-error path
+/// (unknown flag, missing value, contradictory options) shared by all four binaries.
+pub fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}
+
+/// Prints `error: <message>` to stderr and exits with code 1 — the environment-failure
+/// path (unreadable input, unwritable output directory, corrupt store) shared by all
+/// four binaries. Distinct from [`fail`] so scripts can tell a bad invocation from a bad
+/// environment.
+pub fn fail_env(message: impl std::fmt::Display) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(1);
+}
 
 /// `figures --help`.
 pub const FIGURES_HELP: &str = "\
@@ -58,6 +75,23 @@ output:
   --bench-report      instead of printing tables: time every selected experiment at
                       --jobs 1 vs the parallel worker count, verify both tables match
                       byte-for-byte, and write the BENCH_engine.json snapshot
+
+observability (neither flag changes a table byte — observation is not identity):
+  --events <FILE>     write a structured JSONL event log (schema athena-events-v1) of
+                      every engine batch: batch opened, cells scheduled / store-hit /
+                      started / finished / panicked, store fetch/persist, reports
+                      written. Wall-clock lives only in the dedicated t_ms/wall_ms
+                      fields; the remaining fields are byte-stable across --jobs
+                      values. Summarize a log with `results events`
+  --progress          live `cells simulated / cached / ETA` line on stderr while
+                      batches run
+  --profile           profile the simulator hot path: per-phase call counts and
+                      self-time (cache lookup, prefetch issue, OCP predict,
+                      coordinator update, DRAM, trace generation, engine overhead),
+                      print the per-phase breakdown and slowest cells, and write the
+                      BENCH_sim.json aggregate (schema athena-sim-bench-v1) plus
+                      profile.folded (flamegraph collapsed-stack lines) into
+                      --out DIR or the working directory
 
 timeline mode:
   --timeline          standalone mode (no --fig/--all): run every selected workload under
@@ -174,6 +208,15 @@ output:
                        the BENCH_tune.json snapshot (into --out DIR when given,
                        otherwise the working directory, next to BENCH_engine.json)
 
+observability:
+  --events <FILE>      write a structured JSONL event log (schema athena-events-v1) of
+                       every evaluation batch; wall-clock lives only in dedicated
+                       fields, so the deterministic portion is byte-stable across
+                       --jobs values (see `figures --help`). Summarize with
+                       `results events`
+  --progress           live `cells simulated / cached / ETA` line on stderr while
+                       evaluation batches run
+
 misc:
   --version            print the workspace version and exit
   --help, -h           print this help and exit";
@@ -184,6 +227,7 @@ results — inspect and maintain a persistent result store (written by
           `figures --store` / `tune --store`)
 
 usage: results <command> --store <DIR> [options]
+       results events <FILE> [--json]
 
 commands:
   stats      print record counts and on-disk size (live, superseded, log bytes)
@@ -195,10 +239,13 @@ commands:
              (takes the writer lock; the only command that modifies the store)
   verify     scan every record — headers, payload checksums, index agreement — and
              exit non-zero on any corruption
+  events     summarize a JSONL event log written by `figures --events` or
+             `tune --events`: event counts by kind, store hit ratio, and the slowest
+             simulated cells. Takes the log FILE as its argument instead of --store
 
 options:
-  --store <DIR>        the store directory (required; all commands except gc open it
-                       read-only and take no writer lock)
+  --store <DIR>        the store directory (required by every command except events;
+                       all commands except gc open it read-only, no writer lock)
   --against <DIR>      (diff only) the second store to compare against
   --experiment <NAME>  (query only) keep records of this experiment
   --workload <NAME>    (query only) keep records of this workload or mix
@@ -255,6 +302,20 @@ mod tests {
         assert!(FIGURES_HELP.contains("--timeline"));
         assert!(FIGURES_HELP.contains("--window"));
         assert!(TRACE_HELP.contains("record"));
+    }
+
+    #[test]
+    fn help_texts_document_the_observability_flags() {
+        for help in [FIGURES_HELP, TUNE_HELP] {
+            assert!(help.contains("--events <FILE>"));
+            assert!(help.contains("--progress"));
+            assert!(help.contains("athena-events-v1"));
+        }
+        assert!(FIGURES_HELP.contains("--profile"));
+        assert!(FIGURES_HELP.contains("BENCH_sim.json"));
+        assert!(FIGURES_HELP.contains("profile.folded"));
+        assert!(RESULTS_HELP.contains("events"));
+        assert!(RESULTS_HELP.contains("results events <FILE> [--json]"));
     }
 
     #[test]

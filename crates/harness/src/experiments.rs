@@ -1301,6 +1301,8 @@ mod tests {
             trace_dir: None,
             tuned_config: None,
             store: None,
+            probe: None,
+            progress: false,
         }
     }
 

@@ -19,7 +19,7 @@ use athena_engine::Engine;
 
 pub use athena_engine::{
     default_athena_config, simulate, simulate_multicore, CoordinatorKind, OcpKind, PrefetcherKind,
-    RunResult, StoreHandle, StorePolicy, SystemConfig,
+    ProbeSink, RunResult, StoreHandle, StorePolicy, SystemConfig,
 };
 
 /// Options controlling run length, parallelism and trace substitution.
@@ -59,6 +59,13 @@ pub struct RunOptions {
     /// jobs, tables are byte-identical with or without a store; a warm store makes the
     /// whole run simulation-free.
     pub store: Option<StoreHandle>,
+    /// Optional structured event sink (the `--events` flag): every engine batch an
+    /// experiment runs emits its lifecycle events through it as JSONL. Observation is not
+    /// identity — attaching a sink cannot change a table byte.
+    pub probe: Option<ProbeSink>,
+    /// Live `cells done / cached / ETA` progress line on stderr while batches simulate
+    /// (the `--progress` flag). Off by default.
+    pub progress: bool,
 }
 
 impl RunOptions {
@@ -73,6 +80,8 @@ impl RunOptions {
             trace_dir: None,
             tuned_config: None,
             store: None,
+            probe: None,
+            progress: false,
         }
     }
 
@@ -85,6 +94,8 @@ impl RunOptions {
             trace_dir: None,
             tuned_config: None,
             store: None,
+            probe: None,
+            progress: false,
         }
     }
 
@@ -114,13 +125,30 @@ impl RunOptions {
         self.store = Some(store);
         self
     }
+
+    /// Returns a copy whose engine batches emit lifecycle events through the given sink
+    /// (see [`RunOptions::probe`]).
+    pub fn with_probe(mut self, probe: ProbeSink) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
+    /// Returns a copy with the stderr progress line enabled (see
+    /// [`RunOptions::progress`]).
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
+    }
 }
 
 /// Builds the experiment engine an options set asks for: `opts.jobs` workers, with the
-/// result store attached when one is configured. Every experiment batch goes through
-/// here, so a `--store` flag reaches all of them.
+/// result store and event sink attached when configured. Every experiment batch goes
+/// through here, so the `--store` / `--events` / `--progress` flags reach all of them.
 pub(crate) fn engine_for(opts: &RunOptions) -> Engine {
-    Engine::new(opts.jobs).with_store(opts.store.clone())
+    Engine::new(opts.jobs)
+        .with_store(opts.store.clone())
+        .with_probe(opts.probe.clone())
+        .with_progress(opts.progress)
 }
 
 #[cfg(test)]

@@ -159,6 +159,8 @@ mod tests {
             trace_dir: None,
             tuned_config: None,
             store: None,
+            probe: None,
+            progress: false,
         }
     }
 

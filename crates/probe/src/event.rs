@@ -1,0 +1,363 @@
+//! The structured event stream: lifecycle [`Event`]s and the JSONL [`ProbeSink`] that
+//! writes them.
+//!
+//! One event is one line of hand-rolled JSON. Every line leads with the schema id
+//! ([`EVENTS_SCHEMA_ID`]) and the event kind, followed by the event's deterministic
+//! fields (experiment, label, seed, counts — everything derived from the jobs
+//! themselves), followed by the wall-clock fields: `wall_ms` (the cell's simulation
+//! wall-clock, on `cell_finished` only) and `t_ms` (milliseconds since the sink was
+//! created, on every line). The engine emits all per-cell events on the batch's calling
+//! thread at deterministic merge points — never live from worker threads — so two logs
+//! of the same batch at different `--jobs` values are byte-identical once the fields in
+//! [`WALL_CLOCK_FIELDS`] are stripped (`tests/probe.rs` locks this in).
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The schema id carried by every event line. `athena-engine`'s `report::EVENTS_SCHEMA`
+/// renders the same id from its `Schema` constant; a unit test there asserts agreement
+/// (this crate sits below the engine and cannot share the constant directly).
+pub const EVENTS_SCHEMA_ID: &str = "athena-events-v1";
+
+/// The per-line fields that carry wall-clock readings and nothing else. Stripping these
+/// from every line of two logs of the same batch must leave byte-identical documents,
+/// whatever the worker counts were.
+pub const WALL_CLOCK_FIELDS: &[&str] = &["t_ms", "wall_ms"];
+
+/// One lifecycle event of an engine batch.
+///
+/// Per-cell events are emitted in submission order on the calling thread: a cached cell
+/// produces `CellStoreHit`; a simulated cell produces `CellScheduled` before dispatch and
+/// `CellStarted` + `CellFinished` (or `CellPanicked`) at merge.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A batch of cells entered [`Engine::run`](../athena_engine/struct.Engine.html).
+    BatchOpened {
+        /// Experiment of the batch's first cell (batches are per-experiment in practice).
+        experiment: String,
+        /// Number of cells submitted.
+        cells: usize,
+    },
+    /// The attached result store was consulted for the whole batch.
+    StoreFetch {
+        /// Cells served from the store.
+        hits: usize,
+        /// Cells that must be simulated.
+        misses: usize,
+    },
+    /// One cell's result was served from the result store (no simulation).
+    CellStoreHit {
+        /// The cell's experiment.
+        experiment: String,
+        /// The cell's label (`workload/coordinator/config`).
+        label: String,
+        /// The cell's derived seed.
+        seed: u64,
+    },
+    /// One cell missed the store (or no store is attached) and was queued for simulation.
+    CellScheduled {
+        /// The cell's experiment.
+        experiment: String,
+        /// The cell's label.
+        label: String,
+        /// The cell's derived seed.
+        seed: u64,
+    },
+    /// One simulated cell's execution is being merged (paired with the following
+    /// `CellFinished`/`CellPanicked`).
+    CellStarted {
+        /// The cell's experiment.
+        experiment: String,
+        /// The cell's label.
+        label: String,
+    },
+    /// One simulated cell completed.
+    CellFinished {
+        /// The cell's experiment.
+        experiment: String,
+        /// The cell's label.
+        label: String,
+        /// Wall-clock spent simulating the cell, in milliseconds (a wall-clock field;
+        /// stripped by determinism comparisons).
+        wall_ms: f64,
+    },
+    /// One simulated cell panicked; the rest of the batch completed normally.
+    CellPanicked {
+        /// The cell's experiment.
+        experiment: String,
+        /// The cell's label.
+        label: String,
+        /// The caught panic message.
+        error: String,
+    },
+    /// Newly simulated successes were persisted into the result store.
+    StorePersist {
+        /// Number of cells persisted.
+        cells: usize,
+    },
+    /// A report file was written by a CLI (tables, JSON documents, snapshots).
+    ReportWritten {
+        /// Path of the written file.
+        path: String,
+        /// Size of the written contents in bytes.
+        bytes: usize,
+    },
+}
+
+impl Event {
+    /// The event's kind tag, as written into the `"kind"` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::BatchOpened { .. } => "batch_opened",
+            Event::StoreFetch { .. } => "store_fetch",
+            Event::CellStoreHit { .. } => "cell_store_hit",
+            Event::CellScheduled { .. } => "cell_scheduled",
+            Event::CellStarted { .. } => "cell_started",
+            Event::CellFinished { .. } => "cell_finished",
+            Event::CellPanicked { .. } => "cell_panicked",
+            Event::StorePersist { .. } => "store_persist",
+            Event::ReportWritten { .. } => "report_written",
+        }
+    }
+
+    /// Renders the line without the trailing `t_ms` field (the sink appends it).
+    fn render_deterministic(&self, line: &mut String) {
+        let _ = write!(line, "{{\"schema\":\"{EVENTS_SCHEMA_ID}\"");
+        let _ = write!(line, ",\"kind\":\"{}\"", self.kind());
+        let mut str_field = |name: &str, value: &str| {
+            let _ = write!(line, ",\"{name}\":\"{}\"", escape_json(value));
+        };
+        match self {
+            Event::BatchOpened { experiment, cells } => {
+                str_field("experiment", experiment);
+                let _ = write!(line, ",\"cells\":{cells}");
+            }
+            Event::StoreFetch { hits, misses } => {
+                let _ = write!(line, ",\"hits\":{hits},\"misses\":{misses}");
+            }
+            Event::CellStoreHit {
+                experiment,
+                label,
+                seed,
+            }
+            | Event::CellScheduled {
+                experiment,
+                label,
+                seed,
+            } => {
+                str_field("experiment", experiment);
+                str_field("label", label);
+                let _ = write!(line, ",\"seed\":\"{seed:#018x}\"");
+            }
+            Event::CellStarted { experiment, label } => {
+                str_field("experiment", experiment);
+                str_field("label", label);
+            }
+            Event::CellFinished {
+                experiment,
+                label,
+                wall_ms,
+            } => {
+                str_field("experiment", experiment);
+                str_field("label", label);
+                let _ = write!(line, ",\"wall_ms\":{wall_ms}");
+            }
+            Event::CellPanicked {
+                experiment,
+                label,
+                error,
+            } => {
+                str_field("experiment", experiment);
+                str_field("label", label);
+                str_field("error", error);
+            }
+            Event::StorePersist { cells } => {
+                let _ = write!(line, ",\"cells\":{cells}");
+            }
+            Event::ReportWritten { path, bytes } => {
+                str_field("path", path);
+                let _ = write!(line, ",\"bytes\":{bytes}");
+            }
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct SinkInner {
+    writer: BufWriter<File>,
+}
+
+/// A shared, thread-safe JSONL event writer. Cloning shares the same open file and the
+/// same epoch; lines from all clones interleave whole (each line is written and flushed
+/// under one lock acquisition).
+///
+/// Equality compares the destination path only — two handles on the same path are the
+/// same sink for option-comparison purposes (mirroring the result store's handle), which
+/// keeps the run-option types `Eq`.
+#[derive(Clone)]
+pub struct ProbeSink {
+    path: PathBuf,
+    epoch: Instant,
+    inner: Arc<Mutex<SinkInner>>,
+}
+
+impl std::fmt::Debug for ProbeSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProbeSink")
+            .field("path", &self.path)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PartialEq for ProbeSink {
+    fn eq(&self, other: &Self) -> bool {
+        self.path == other.path
+    }
+}
+
+impl Eq for ProbeSink {}
+
+impl ProbeSink {
+    /// Creates (truncating) the event log at `path`. Parent directories are created as
+    /// needed.
+    pub fn create(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = File::create(&path)?;
+        Ok(Self {
+            path,
+            epoch: Instant::now(),
+            inner: Arc::new(Mutex::new(SinkInner {
+                writer: BufWriter::new(file),
+            })),
+        })
+    }
+
+    /// The log file this sink writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one event line and flushes it, so a killed run's log is complete up to the
+    /// last event.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the write fails (disk full, file gone) — an event log that silently
+    /// drops records would lie about the run it documents.
+    pub fn emit(&self, event: &Event) {
+        let mut line = String::with_capacity(160);
+        event.render_deterministic(&mut line);
+        let t_ms = self.epoch.elapsed().as_secs_f64() * 1e3;
+        let _ = write!(line, ",\"t_ms\":{t_ms}}}");
+        line.push('\n');
+        let mut inner = self.inner.lock().expect("probe sink mutex poisoned");
+        inner
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| inner.writer.flush())
+            .unwrap_or_else(|e| panic!("event log {}: write failed: {e}", self.path.display()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_log(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("athena-probe-{}-{tag}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn lines_carry_schema_kind_and_fields() {
+        let path = temp_log("basic");
+        let sink = ProbeSink::create(&path).unwrap();
+        sink.emit(&Event::BatchOpened {
+            experiment: "fig7".into(),
+            cells: 3,
+        });
+        sink.emit(&Event::CellFinished {
+            experiment: "fig7".into(),
+            label: "w/athena/<cfg>".into(),
+            wall_ms: 1.25,
+        });
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with(&format!(
+            "{{\"schema\":\"{EVENTS_SCHEMA_ID}\",\"kind\":\"batch_opened\",\"experiment\":\"fig7\",\"cells\":3,\"t_ms\":"
+        )));
+        assert!(lines[1].contains("\"kind\":\"cell_finished\""));
+        assert!(lines[1].contains("\"wall_ms\":1.25"));
+        assert!(lines[1].ends_with('}'));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let path = temp_log("escape");
+        let sink = ProbeSink::create(&path).unwrap();
+        sink.emit(&Event::CellPanicked {
+            experiment: "t".into(),
+            label: "a\"b\\c".into(),
+            error: "line1\nline2\ttab".into(),
+        });
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("a\\\"b\\\\c"));
+        assert!(text.contains("line1\\nline2\\ttab"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn clones_share_the_file_and_compare_by_path() {
+        let path = temp_log("clone");
+        let sink = ProbeSink::create(&path).unwrap();
+        let clone = sink.clone();
+        sink.emit(&Event::StorePersist { cells: 1 });
+        clone.emit(&Event::StorePersist { cells: 2 });
+        assert_eq!(sink, clone);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn seeds_render_as_full_width_hex() {
+        let path = temp_log("hex");
+        let sink = ProbeSink::create(&path).unwrap();
+        sink.emit(&Event::CellScheduled {
+            experiment: "t".into(),
+            label: "l".into(),
+            seed: 0xff,
+        });
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"seed\":\"0x00000000000000ff\""));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

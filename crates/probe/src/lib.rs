@@ -1,0 +1,39 @@
+//! # athena-probe
+//!
+//! Zero-cost-when-off observability for the Athena reproduction, in two halves:
+//!
+//! * **Structured event stream** ([`event`]) — the experiment engine emits lifecycle
+//!   events (batch opened, cell scheduled / store-hit / started / finished / panicked,
+//!   store fetch/persist, report written) as hand-rolled JSONL records through a shared
+//!   [`ProbeSink`]. Every record declares the schema id [`EVENTS_SCHEMA_ID`]; wall-clock
+//!   readings live only in the dedicated `t_ms` / `wall_ms` fields, so the remaining
+//!   (deterministic) fields of a log are byte-stable across worker counts.
+//! * **Hot-path phase profiler** ([`profile`]) — lightweight span instrumentation over
+//!   the simulator's stages (trace generation, core stepping, cache lookups, prefetch
+//!   issue, OCP prediction, coordinator updates, DRAM accesses) and the engine's stages
+//!   (store fetch, dispatch, merge). Spans accumulate per-phase call counts and
+//!   *self*-time nanoseconds into a per-cell [`PhaseProfile`]; because every span
+//!   subtracts its children's time, the phases partition the cell's wall-clock and their
+//!   totals sum back to it.
+//!
+//! **Observation is not identity.** Nothing in this crate feeds back into a simulation:
+//! events and profiles are derived from results, never consulted by them, so enabling
+//! either must not change a single table byte (the engine's tests lock this in). The
+//! disabled path compiles to near-nothing — one relaxed atomic load and a branch per
+//! span site, and a no-op sink when no `--events` file is attached.
+//!
+//! This crate sits below `athena-sim` and `athena-engine` in the dependency order and
+//! therefore depends on nothing; the JSONL writer is hand-rolled here, and the engine's
+//! `report::EVENTS_SCHEMA` constant asserts agreement with [`EVENTS_SCHEMA_ID`] by test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod profile;
+
+pub use event::{Event, ProbeSink, EVENTS_SCHEMA_ID, WALL_CLOCK_FIELDS};
+pub use profile::{
+    begin_cell, profiling_enabled, set_profiling, span, swap_cell, take_cell, Phase, PhaseProfile,
+    PhaseStat, SpanGuard, ALL_PHASES, PHASE_COUNT,
+};

@@ -1,0 +1,405 @@
+//! The hot-path phase profiler: [`span`] guards that accumulate per-phase call counts
+//! and *self*-time nanoseconds into a per-cell [`PhaseProfile`].
+//!
+//! Profiling is a process-wide switch ([`set_profiling`]); when off, [`span`] is one
+//! relaxed atomic load and a branch. When on, each thread keeps a span stack: closing a
+//! span charges its elapsed time minus its children's elapsed time to its phase, and
+//! reports its whole elapsed time to its parent. Self-times are therefore disjoint — the
+//! phases partition the instrumented wall-clock, and because the engine wraps each cell's
+//! entire execution in a [`Phase::Dispatch`] root span, a cell's phase totals sum back to
+//! its wall-clock (uninstrumented remainder included, charged to `dispatch`).
+//!
+//! The engine brackets each cell with [`begin_cell`] / [`take_cell`] on the worker thread
+//! that runs it, so a profile never mixes cells even when cells run in parallel.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Process-wide profiling switch. Off by default.
+static PROFILING: AtomicBool = AtomicBool::new(false);
+
+/// Turns the phase profiler on or off for the whole process. The CLIs flip this once at
+/// startup (`--profile`); flipping it mid-cell is harmless but splits that cell's
+/// profile.
+pub fn set_profiling(enabled: bool) {
+    PROFILING.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the phase profiler is currently on.
+#[inline]
+pub fn profiling_enabled() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+/// An instrumented stage of the simulator or engine hot path.
+///
+/// Simulator phases nest under [`Phase::CoreStep`], which nests (with
+/// [`Phase::TraceGen`]) under the per-cell [`Phase::Dispatch`] root; [`Phase::StoreFetch`]
+/// and [`Phase::Merge`] are engine-side roots bracketing a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Phase {
+    /// Synthesizing the next trace record (workload generators / trace readers).
+    TraceGen = 0,
+    /// One `CoreEngine::step`: retire bookkeeping and memory-access orchestration.
+    CoreStep = 1,
+    /// L1D/L2C/LLC set lookups and fills.
+    CacheLookup = 2,
+    /// Prefetcher training + degree-controlled prefetch issue.
+    PrefetchIssue = 3,
+    /// Off-chip predictor lookup and training.
+    OcpPredict = 4,
+    /// Coordinator / RL-agent epoch updates.
+    CoordinatorUpdate = 5,
+    /// DRAM model accesses (row-buffer bookkeeping), demand and writeback.
+    Dram = 6,
+    /// Engine-side: consulting the result store for a batch.
+    StoreFetch = 7,
+    /// Engine-side: a cell's whole execution on a worker (the per-cell root span; its
+    /// self-time is the uninstrumented remainder of the cell).
+    Dispatch = 8,
+    /// Engine-side: merging finished cells back into submission order.
+    Merge = 9,
+}
+
+/// Number of phases (array sizes in [`PhaseProfile`]).
+pub const PHASE_COUNT: usize = 10;
+
+/// All phases, in index order.
+pub const ALL_PHASES: [Phase; PHASE_COUNT] = [
+    Phase::TraceGen,
+    Phase::CoreStep,
+    Phase::CacheLookup,
+    Phase::PrefetchIssue,
+    Phase::OcpPredict,
+    Phase::CoordinatorUpdate,
+    Phase::Dram,
+    Phase::StoreFetch,
+    Phase::Dispatch,
+    Phase::Merge,
+];
+
+impl Phase {
+    /// The phase's snake_case name, used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::TraceGen => "trace_gen",
+            Phase::CoreStep => "core_step",
+            Phase::CacheLookup => "cache_lookup",
+            Phase::PrefetchIssue => "prefetch_issue",
+            Phase::OcpPredict => "ocp_predict",
+            Phase::CoordinatorUpdate => "coordinator_update",
+            Phase::Dram => "dram",
+            Phase::StoreFetch => "store_fetch",
+            Phase::Dispatch => "dispatch",
+            Phase::Merge => "merge",
+        }
+    }
+
+    /// The phase's static position in the span hierarchy, as a semicolon-separated
+    /// collapsed-stack frame path (the format flamegraph tools consume).
+    pub fn stack_path(self) -> &'static str {
+        match self {
+            Phase::TraceGen => "dispatch;trace_gen",
+            Phase::CoreStep => "dispatch;core_step",
+            Phase::CacheLookup => "dispatch;core_step;cache_lookup",
+            Phase::PrefetchIssue => "dispatch;core_step;prefetch_issue",
+            Phase::OcpPredict => "dispatch;core_step;ocp_predict",
+            Phase::CoordinatorUpdate => "dispatch;core_step;coordinator_update",
+            Phase::Dram => "dispatch;core_step;dram",
+            Phase::StoreFetch => "store_fetch",
+            Phase::Dispatch => "dispatch",
+            Phase::Merge => "merge",
+        }
+    }
+
+    /// Parses a [`Phase::name`] back into the phase.
+    pub fn from_name(name: &str) -> Option<Phase> {
+        ALL_PHASES.into_iter().find(|p| p.name() == name)
+    }
+}
+
+/// One phase's aggregated numbers inside a [`PhaseProfile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Which phase.
+    pub phase: Phase,
+    /// Spans closed for this phase.
+    pub calls: u64,
+    /// Self-time (elapsed minus children's elapsed) accumulated, in nanoseconds.
+    pub nanos: u64,
+}
+
+/// Per-phase call counts and disjoint self-time nanoseconds for one cell (or any other
+/// bracketed region), mergeable across cells into a sweep-wide aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseProfile {
+    calls: [u64; PHASE_COUNT],
+    nanos: [u64; PHASE_COUNT],
+}
+
+impl PhaseProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one closed span: `calls += 1`, `nanos += self_nanos`.
+    pub fn record(&mut self, phase: Phase, self_nanos: u64) {
+        self.calls[phase as usize] += 1;
+        self.nanos[phase as usize] = self.nanos[phase as usize].saturating_add(self_nanos);
+    }
+
+    /// Adds another profile into this one (sweep-wide aggregation).
+    pub fn merge(&mut self, other: &PhaseProfile) {
+        for i in 0..PHASE_COUNT {
+            self.calls[i] += other.calls[i];
+            self.nanos[i] = self.nanos[i].saturating_add(other.nanos[i]);
+        }
+    }
+
+    /// Call count for one phase.
+    pub fn calls(&self, phase: Phase) -> u64 {
+        self.calls[phase as usize]
+    }
+
+    /// Self-time nanoseconds for one phase.
+    pub fn nanos(&self, phase: Phase) -> u64 {
+        self.nanos[phase as usize]
+    }
+
+    /// Sum of all phases' self-times. Because self-times are disjoint and the engine
+    /// wraps each cell in a `dispatch` root span, this approximates the cell's wall-clock.
+    pub fn total_nanos(&self) -> u64 {
+        self.nanos.iter().sum()
+    }
+
+    /// True when no span was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.calls.iter().all(|&c| c == 0)
+    }
+
+    /// The non-empty phases in index (hierarchy) order.
+    pub fn stats(&self) -> impl Iterator<Item = PhaseStat> + '_ {
+        ALL_PHASES
+            .into_iter()
+            .filter(|&p| self.calls[p as usize] > 0)
+            .map(|p| PhaseStat {
+                phase: p,
+                calls: self.calls[p as usize],
+                nanos: self.nanos[p as usize],
+            })
+    }
+}
+
+/// One open span on a thread's stack.
+struct Frame {
+    phase: Phase,
+    start: Instant,
+    /// Total elapsed (not self) nanoseconds of already-closed children.
+    child_nanos: u64,
+}
+
+/// A thread's profiler state: the open-span stack and the profile being accumulated.
+#[derive(Default)]
+struct CellProfiler {
+    stack: Vec<Frame>,
+    profile: PhaseProfile,
+}
+
+thread_local! {
+    static PROFILER: RefCell<CellProfiler> = RefCell::new(CellProfiler::default());
+}
+
+/// Resets this thread's profiler for a fresh cell. The engine calls this on the worker
+/// thread immediately before running a cell, so a reused thread (or one that unwound out
+/// of a panicking cell) never leaks spans into the next cell.
+pub fn begin_cell() {
+    if !profiling_enabled() {
+        return;
+    }
+    PROFILER.with(|p| {
+        let mut p = p.borrow_mut();
+        p.stack.clear();
+        p.profile = PhaseProfile::new();
+    });
+}
+
+/// Takes this thread's accumulated profile, leaving it empty. Returns `None` when
+/// profiling is off or nothing was recorded.
+pub fn take_cell() -> Option<PhaseProfile> {
+    if !profiling_enabled() {
+        return None;
+    }
+    PROFILER.with(|p| {
+        let mut p = p.borrow_mut();
+        p.stack.clear();
+        let profile = std::mem::take(&mut p.profile);
+        (!profile.is_empty()).then_some(profile)
+    })
+}
+
+/// Replaces this thread's accumulated profile with `next` (clearing any open spans) and
+/// returns the previous one. The engine's worker closure uses this to bracket a cell
+/// without destroying the caller's own accrual on the serial (`jobs == 1`) path, where
+/// cells run on the same thread as the engine's store-fetch/merge spans. When profiling
+/// is off this touches nothing and returns `next` back.
+pub fn swap_cell(next: PhaseProfile) -> PhaseProfile {
+    if !profiling_enabled() {
+        return next;
+    }
+    PROFILER.with(|p| {
+        let mut p = p.borrow_mut();
+        p.stack.clear();
+        std::mem::replace(&mut p.profile, next)
+    })
+}
+
+/// Opens a span for `phase` on the current thread. The returned guard closes the span
+/// when dropped (including during unwinding). When profiling is off this is one relaxed
+/// atomic load and returns an unarmed guard.
+#[inline]
+pub fn span(phase: Phase) -> SpanGuard {
+    if !profiling_enabled() {
+        return SpanGuard { armed: false };
+    }
+    PROFILER.with(|p| {
+        p.borrow_mut().stack.push(Frame {
+            phase,
+            start: Instant::now(),
+            child_nanos: 0,
+        });
+    });
+    SpanGuard { armed: true }
+}
+
+/// Guard returned by [`span`]; closing (dropping) it charges the span's self-time to its
+/// phase and its whole elapsed time to its parent span.
+#[must_use = "a span measures the scope of its guard; dropping it immediately records nothing"]
+pub struct SpanGuard {
+    armed: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        PROFILER.with(|p| {
+            let mut p = p.borrow_mut();
+            // A begin_cell() between span open and close clears the stack; the guard
+            // then has nothing to pop (and must not pop a newer frame).
+            let Some(frame) = p.stack.pop() else { return };
+            let elapsed = frame.start.elapsed().as_nanos() as u64;
+            let self_nanos = elapsed.saturating_sub(frame.child_nanos);
+            p.profile.record(frame.phase, self_nanos);
+            if let Some(parent) = p.stack.last_mut() {
+                parent.child_nanos = parent.child_nanos.saturating_add(elapsed);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The profiling switch is process-wide, so the tests that flip it share one lock.
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn spin_for(nanos: u64) {
+        let start = Instant::now();
+        while (start.elapsed().as_nanos() as u64) < nanos {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _gate = GATE.lock().unwrap();
+        set_profiling(false);
+        begin_cell();
+        {
+            let _s = span(Phase::CoreStep);
+            spin_for(50_000);
+        }
+        assert_eq!(take_cell(), None);
+    }
+
+    #[test]
+    fn nested_spans_accumulate_disjoint_self_time() {
+        let _gate = GATE.lock().unwrap();
+        set_profiling(true);
+        begin_cell();
+        {
+            let _root = span(Phase::Dispatch);
+            {
+                let _step = span(Phase::CoreStep);
+                {
+                    let _lookup = span(Phase::CacheLookup);
+                    spin_for(200_000);
+                }
+                spin_for(200_000);
+            }
+        }
+        let profile = take_cell().expect("profile recorded");
+        set_profiling(false);
+        assert_eq!(profile.calls(Phase::Dispatch), 1);
+        assert_eq!(profile.calls(Phase::CoreStep), 1);
+        assert_eq!(profile.calls(Phase::CacheLookup), 1);
+        // Each phase holds only its own self-time: the child's spin must not be
+        // double-counted in the parent.
+        assert!(profile.nanos(Phase::CacheLookup) >= 200_000);
+        assert!(profile.nanos(Phase::CoreStep) >= 200_000);
+        assert!(profile.nanos(Phase::CoreStep) < 400_000 + 10_000_000);
+        let total = profile.total_nanos();
+        let sum: u64 = ALL_PHASES.iter().map(|&p| profile.nanos(p)).sum();
+        assert_eq!(total, sum);
+    }
+
+    #[test]
+    fn unwinding_closes_spans() {
+        let _gate = GATE.lock().unwrap();
+        set_profiling(true);
+        begin_cell();
+        let result = std::panic::catch_unwind(|| {
+            let _root = span(Phase::Dispatch);
+            let _step = span(Phase::CoreStep);
+            panic!("cell died");
+        });
+        assert!(result.is_err());
+        let profile = take_cell().expect("spans closed during unwind");
+        set_profiling(false);
+        assert_eq!(profile.calls(Phase::Dispatch), 1);
+        assert_eq!(profile.calls(Phase::CoreStep), 1);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_nanos() {
+        let mut a = PhaseProfile::new();
+        a.record(Phase::Dram, 10);
+        a.record(Phase::Dram, 5);
+        let mut b = PhaseProfile::new();
+        b.record(Phase::Dram, 7);
+        b.record(Phase::Merge, 3);
+        a.merge(&b);
+        assert_eq!(a.calls(Phase::Dram), 3);
+        assert_eq!(a.nanos(Phase::Dram), 22);
+        assert_eq!(a.calls(Phase::Merge), 1);
+        assert_eq!(a.total_nanos(), 25);
+        let stats: Vec<PhaseStat> = a.stats().collect();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].phase, Phase::Dram);
+        assert_eq!(stats[1].phase, Phase::Merge);
+    }
+
+    #[test]
+    fn phase_names_round_trip() {
+        for phase in ALL_PHASES {
+            assert_eq!(Phase::from_name(phase.name()), Some(phase));
+            assert!(phase.stack_path().ends_with(phase.name()));
+        }
+        assert_eq!(Phase::from_name("nope"), None);
+    }
+}

@@ -209,6 +209,7 @@ impl CoreEngine {
     }
 
     fn close_epoch(&mut self, hierarchy: &mut MemoryHierarchy) {
+        let _span = athena_probe::span(athena_probe::Phase::CoordinatorUpdate);
         let core_side = EpochStats {
             epoch_index: self.epoch_index,
             instructions: self.retired - self.epoch_start_instr,
@@ -311,9 +312,14 @@ impl Simulator {
             engine.enable_agent_telemetry();
         }
         while engine.retired() < max_instructions {
-            let Some(record) = trace.next_record() else {
+            let record = {
+                let _span = athena_probe::span(athena_probe::Phase::TraceGen);
+                trace.next_record()
+            };
+            let Some(record) = record else {
                 break;
             };
+            let _span = athena_probe::span(athena_probe::Phase::CoreStep);
             engine.step(record, &mut self.hierarchy);
         }
         engine.finish(&mut self.hierarchy)

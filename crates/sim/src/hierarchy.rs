@@ -213,7 +213,10 @@ impl MemoryHierarchy {
         // Off-chip prediction happens as soon as the address is known.
         let ocp_enabled = self.decision.enable_ocp && self.ocp.is_some();
         let predicted_off_chip = if ocp_enabled {
-            let p = self.ocp.as_mut().map(|o| o.predict(&ctx)).unwrap_or(false);
+            let p = {
+                let _span = athena_probe::span(athena_probe::Phase::OcpPredict);
+                self.ocp.as_mut().map(|o| o.predict(&ctx)).unwrap_or(false)
+            };
             if p {
                 self.epoch.ocp_predictions += 1;
             }
@@ -223,7 +226,10 @@ impl MemoryHierarchy {
         };
 
         // --- L1D ---
-        let l1 = self.l1d.lookup(addr, pc);
+        let l1 = {
+            let _span = athena_probe::span(athena_probe::Phase::CacheLookup);
+            self.l1d.lookup(addr, pc)
+        };
         self.feedback_prefetch_use(CacheLevel::L1d, line, &l1, cycle);
         self.trigger_prefetchers(CacheLevel::L1d, pc, addr, cycle, &l1, false);
         let l1_latency = self.l1d.latency();
@@ -238,7 +244,10 @@ impl MemoryHierarchy {
 
         // --- L2C ---
         let l2_lookup_cycle = cycle + l1_latency;
-        let l2 = self.l2c.lookup(addr, pc);
+        let l2 = {
+            let _span = athena_probe::span(athena_probe::Phase::CacheLookup);
+            self.l2c.lookup(addr, pc)
+        };
         self.feedback_prefetch_use(CacheLevel::L2c, line, &l2, l2_lookup_cycle);
         self.trigger_prefetchers(CacheLevel::L2c, pc, addr, l2_lookup_cycle, &l2, false);
         let l2_latency = self.l2c.latency();
@@ -255,7 +264,10 @@ impl MemoryHierarchy {
 
         // --- LLC ---
         let llc_lookup_cycle = l2_lookup_cycle + l2_latency;
-        let llc = self.llc.lookup(addr, pc);
+        let llc = {
+            let _span = athena_probe::span(athena_probe::Phase::CacheLookup);
+            self.llc.lookup(addr, pc)
+        };
         self.feedback_prefetch_use(CacheLevel::Llc, line, &llc, llc_lookup_cycle);
         let llc_latency = self.llc.latency();
         if let LookupOutcome::Hit { ready_cycle, .. } = llc {
@@ -276,22 +288,25 @@ impl MemoryHierarchy {
             self.epoch.pollution_misses += 1;
         }
 
-        let completion = if predicted_off_chip {
-            // The speculative request was issued `ocp_issue_latency` cycles after address
-            // generation; the demand merges with it at the memory controller, so the
-            // on-chip lookup latency is off the critical path.
-            self.epoch.ocp_correct += 1;
-            let done = self.dram.borrow_mut().access(
-                line,
-                cycle + self.config.ocp_issue_latency,
-                DramRequestKind::Ocp,
-            );
-            done.max(cycle + l1_latency)
-        } else {
-            let demand_issue = llc_lookup_cycle + llc_latency;
-            self.dram
-                .borrow_mut()
-                .access(line, demand_issue, DramRequestKind::Demand)
+        let completion = {
+            let _span = athena_probe::span(athena_probe::Phase::Dram);
+            if predicted_off_chip {
+                // The speculative request was issued `ocp_issue_latency` cycles after
+                // address generation; the demand merges with it at the memory controller,
+                // so the on-chip lookup latency is off the critical path.
+                self.epoch.ocp_correct += 1;
+                let done = self.dram.borrow_mut().access(
+                    line,
+                    cycle + self.config.ocp_issue_latency,
+                    DramRequestKind::Ocp,
+                );
+                done.max(cycle + l1_latency)
+            } else {
+                let demand_issue = llc_lookup_cycle + llc_latency;
+                self.dram
+                    .borrow_mut()
+                    .access(line, demand_issue, DramRequestKind::Demand)
+            }
         };
         self.epoch.llc_miss_latency_sum += completion.saturating_sub(cycle);
 
@@ -301,6 +316,7 @@ impl MemoryHierarchy {
         self.fill_level(CacheLevel::L1d, line, false, pc, completion);
 
         if let Some(ocp) = &mut self.ocp {
+            let _span = athena_probe::span(athena_probe::Phase::OcpPredict);
             ocp.train(&ctx, true);
         }
         LoadOutcome {
@@ -313,6 +329,7 @@ impl MemoryHierarchy {
     fn finish_on_chip(&mut self, ctx: &LoadContext, predicted_off_chip: bool, cycle: u64) {
         if predicted_off_chip {
             // Wasted speculative fetch: it still occupies the DRAM bus.
+            let _span = athena_probe::span(athena_probe::Phase::Dram);
             self.dram.borrow_mut().access(
                 line_of(ctx.addr),
                 cycle + self.config.ocp_issue_latency,
@@ -320,6 +337,7 @@ impl MemoryHierarchy {
             );
         }
         if let Some(ocp) = &mut self.ocp {
+            let _span = athena_probe::span(athena_probe::Phase::OcpPredict);
             ocp.train(ctx, false);
         }
     }
@@ -330,7 +348,10 @@ impl MemoryHierarchy {
         self.epoch.stores += 1;
         let line = line_of(addr);
 
-        let l1 = self.l1d.lookup(addr, pc);
+        let l1 = {
+            let _span = athena_probe::span(athena_probe::Phase::CacheLookup);
+            self.l1d.lookup(addr, pc)
+        };
         self.feedback_prefetch_use(CacheLevel::L1d, line, &l1, cycle);
         self.trigger_prefetchers(CacheLevel::L1d, pc, addr, cycle, &l1, true);
         if l1.is_hit() {
@@ -342,7 +363,10 @@ impl MemoryHierarchy {
         // Stores never stall the core, but the lateness accounting still references the
         // cycle a demand would reach each level — mirroring the load path — so a
         // prefetch's timeliness is judged identically for loads and stores.
-        let l2 = self.l2c.lookup(addr, pc);
+        let l2 = {
+            let _span = athena_probe::span(athena_probe::Phase::CacheLookup);
+            self.l2c.lookup(addr, pc)
+        };
         let l2_lookup_cycle = cycle + self.l1d.latency();
         self.feedback_prefetch_use(CacheLevel::L2c, line, &l2, l2_lookup_cycle);
         self.trigger_prefetchers(CacheLevel::L2c, pc, addr, cycle, &l2, true);
@@ -353,7 +377,10 @@ impl MemoryHierarchy {
         }
         self.epoch.l2c_misses += 1;
 
-        let llc = self.llc.lookup(addr, pc);
+        let llc = {
+            let _span = athena_probe::span(athena_probe::Phase::CacheLookup);
+            self.llc.lookup(addr, pc)
+        };
         let llc_lookup_cycle = l2_lookup_cycle + self.l2c.latency();
         self.feedback_prefetch_use(CacheLevel::Llc, line, &llc, llc_lookup_cycle);
         if llc.is_hit() {
@@ -367,10 +394,12 @@ impl MemoryHierarchy {
         if self.pollution_victims.remove(&line) {
             self.epoch.pollution_misses += 1;
         }
-        let done = self
-            .dram
-            .borrow_mut()
-            .access(line, cycle, DramRequestKind::Demand);
+        let done = {
+            let _span = athena_probe::span(athena_probe::Phase::Dram);
+            self.dram
+                .borrow_mut()
+                .access(line, cycle, DramRequestKind::Demand)
+        };
         self.fill_level(CacheLevel::Llc, line, false, pc, done);
         self.fill_level(CacheLevel::L2c, line, false, pc, done);
         self.fill_level(CacheLevel::L1d, line, false, pc, done);
@@ -422,6 +451,7 @@ impl MemoryHierarchy {
         if self.prefetchers.is_empty() {
             return;
         }
+        let _span = athena_probe::span(athena_probe::Phase::PrefetchIssue);
         let ev = AccessEvent {
             pc,
             addr,
@@ -518,10 +548,12 @@ impl MemoryHierarchy {
         // Data-ready time of the prefetched line: a DRAM fetch completes when its bus
         // transfer finishes; an on-chip source is ready after that level's lookup latency.
         let ready = if from_dram {
-            let done = self
-                .dram
-                .borrow_mut()
-                .access(line, cycle, DramRequestKind::Prefetch);
+            let done = {
+                let _span = athena_probe::span(athena_probe::Phase::Dram);
+                self.dram
+                    .borrow_mut()
+                    .access(line, cycle, DramRequestKind::Prefetch)
+            };
             self.epoch.prefetch_fills_from_dram += 1;
             self.total_prefetch_fills_from_dram += 1;
             if self.dram_prefetch_provenance.len() < TRACKING_SET_CAP {
@@ -601,6 +633,7 @@ impl MemoryHierarchy {
                 if ev.dirty {
                     // Writebacks consume DRAM bandwidth at an arbitrary (current) time; the
                     // precise cycle does not affect the core's critical path in this model.
+                    let _span = athena_probe::span(athena_probe::Phase::Dram);
                     let mut dram = self.dram.borrow_mut();
                     let when = dram.bus_next_free();
                     dram.access(ev.line_addr, when, DramRequestKind::Writeback);

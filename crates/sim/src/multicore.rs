@@ -143,8 +143,15 @@ impl MultiCoreSimulator {
                 }
                 let target = (slot.engine.retired() + QUANTUM).min(instructions_per_core);
                 while slot.engine.retired() < target {
-                    match slot.trace.next_record() {
-                        Some(rec) => slot.engine.step(rec, &mut slot.hierarchy),
+                    let rec = {
+                        let _span = athena_probe::span(athena_probe::Phase::TraceGen);
+                        slot.trace.next_record()
+                    };
+                    match rec {
+                        Some(rec) => {
+                            let _span = athena_probe::span(athena_probe::Phase::CoreStep);
+                            slot.engine.step(rec, &mut slot.hierarchy)
+                        }
                         None => {
                             slot.done = true;
                             break;

@@ -19,8 +19,8 @@
 use std::path::PathBuf;
 
 use athena_engine::{
-    CellResult, CoordinatorKind, Engine, Job, OcpKind, PrefetcherKind, RunResult, StoreHandle,
-    SystemConfig,
+    CellResult, CoordinatorKind, Engine, Job, OcpKind, PrefetcherKind, ProbeSink, RunResult,
+    StoreHandle, SystemConfig,
 };
 use athena_workloads::WorkloadSpec;
 use rand::rngs::StdRng;
@@ -63,6 +63,13 @@ pub struct TuneOptions {
     /// so a search re-entered over a widened space (or after a kill) re-simulates only
     /// the (candidate × workload × budget) cells the store has not seen.
     pub store: Option<StoreHandle>,
+    /// Optional structured event sink: evaluation batches emit their lifecycle events
+    /// through it as JSONL. Observation is not identity — attaching a sink cannot change
+    /// a leaderboard byte.
+    pub probe: Option<ProbeSink>,
+    /// Live `cells done / cached / ETA` progress line on stderr while evaluation batches
+    /// simulate. Off by default.
+    pub progress: bool,
 }
 
 impl TuneOptions {
@@ -76,6 +83,8 @@ impl TuneOptions {
             seed: DEFAULT_TUNE_SEED,
             config: SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet),
             store: None,
+            probe: None,
+            progress: false,
         }
     }
 
@@ -107,6 +116,20 @@ impl TuneOptions {
     /// [`TuneOptions::store`]).
     pub fn with_store(mut self, store: StoreHandle) -> Self {
         self.store = Some(store);
+        self
+    }
+
+    /// Returns a copy whose evaluation batches emit lifecycle events through the given
+    /// sink (see [`TuneOptions::probe`]).
+    pub fn with_probe(mut self, probe: ProbeSink) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
+    /// Returns a copy with the stderr progress line enabled (see
+    /// [`TuneOptions::progress`]).
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
         self
     }
 }
@@ -293,7 +316,10 @@ pub fn tune(
         })
         .collect();
 
-    let engine = Engine::new(opts.jobs).with_store(opts.store.clone());
+    let engine = Engine::new(opts.jobs)
+        .with_store(opts.store.clone())
+        .with_probe(opts.probe.clone())
+        .with_progress(opts.progress);
     let mut survivors: Vec<usize> = (0..entries.len()).collect();
     let mut evaluations = 0usize;
 

@@ -23,6 +23,8 @@
 //! * [`trace_io`] — on-disk trace formats (binary + text) and streaming replay.
 //! * [`telemetry`] — windowed time-series telemetry (per-interval IPC/MPKI/coverage
 //!   series, agent learning internals, learning curves).
+//! * [`probe`] — zero-cost-when-off observability: the structured JSONL event stream and
+//!   the hot-path phase profiler.
 //! * [`engine`] — the parallel experiment engine (jobs, deterministic seeding, worker
 //!   pool, JSON reports).
 //! * [`store`] — the persistent content-addressed result store (append-only record log,
@@ -41,6 +43,7 @@ pub use athena_engine as engine;
 pub use athena_harness as harness;
 pub use athena_ocp as ocp;
 pub use athena_prefetchers as prefetchers;
+pub use athena_probe as probe;
 pub use athena_sim as sim;
 pub use athena_store as store;
 pub use athena_telemetry as telemetry;
@@ -57,6 +60,7 @@ pub mod prelude {
         simulate, simulate_multicore, CoordinatorKind, OcpKind, PrefetcherKind, RunOptions,
         RunResult, SystemConfig,
     };
+    pub use athena_probe::{Event, PhaseProfile, ProbeSink};
     pub use athena_sim::{
         Coordinator, CoordinatorTelemetry, EpochStats, OffChipPredictor, Prefetcher, SimConfig,
         Simulator, TraceRecord, TraceSource,

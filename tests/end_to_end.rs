@@ -195,6 +195,8 @@ fn quick_figure_experiments_produce_consistent_tables() {
         trace_dir: None,
         tuned_config: None,
         store: None,
+        probe: None,
+        progress: false,
     };
     for fig in ["fig2", "fig7", "tab4"] {
         let table = experiments::run_experiment(fig, &opts).expect(fig);

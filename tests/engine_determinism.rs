@@ -53,6 +53,8 @@ fn tables_are_byte_identical_across_worker_counts() {
         trace_dir: None,
         tuned_config: None,
         store: None,
+        probe: None,
+        progress: false,
     };
     // One category sweep, one raw-stats figure and one multi-core figure.
     for fig in ["fig7", "fig3", "fig15"] {

@@ -34,6 +34,8 @@ fn opts(limit: usize, store: Option<StoreHandle>) -> RunOptions {
         trace_dir: None,
         tuned_config: None,
         store,
+        probe: None,
+        progress: false,
     }
 }
 

@@ -23,6 +23,8 @@ fn opts(jobs: usize) -> RunOptions {
         trace_dir: None,
         tuned_config: None,
         store: None,
+        probe: None,
+        progress: false,
     }
 }
 

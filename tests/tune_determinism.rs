@@ -29,6 +29,8 @@ fn run_opts(jobs: usize) -> RunOptions {
         trace_dir: None,
         tuned_config: None,
         store: None,
+        probe: None,
+        progress: false,
     }
 }
 

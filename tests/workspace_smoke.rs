@@ -29,6 +29,8 @@ fn prelude_reexports_are_usable() {
         trace_dir: None,
         tuned_config: None,
         store: None,
+        probe: None,
+        progress: false,
     };
     assert_eq!(opts.workload_limit, Some(1));
 }
