@@ -34,6 +34,76 @@ fn cache_bench(c: &mut Criterion) {
     group.finish();
 }
 
+fn cache_soa_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_soa");
+    group.throughput(Throughput::Elements(1));
+    let config = CacheConfig {
+        name: "bench",
+        size_bytes: 48 * 1024,
+        ways: 12,
+        latency: 5,
+        mshrs: 16,
+        replacement: Replacement::Lru,
+    };
+    // Pure set-scan cost on the SoA tag array: a resident working set, so every lookup
+    // takes the hit path (tag sweep + flag/LRU updates, no victim selection).
+    group.bench_function("set_lookup_hit", |b| {
+        let mut cache = Cache::new(config, CacheLevel::L1d);
+        let lines = 64usize; // sets(48K/12w) = 64 → one line per set, always resident
+        for i in 0..lines {
+            cache.fill((i as u64) << 6, false, 0x400, 0);
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % lines;
+            std::hint::black_box(cache.lookup((i as u64) << 6, 0x400).is_hit())
+        })
+    });
+    // Victim-selection cost: a thrashing working set, so every lookup misses and every
+    // fill evicts (first-minimum LRU scan over the whole set).
+    group.bench_function("miss_and_evict", |b| {
+        let mut cache = Cache::new(config, CacheLevel::L1d);
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64 * 64).wrapping_add(64) & 0xfff_ffff;
+            if !cache.lookup(addr, 0x400).is_hit() {
+                cache.fill(addr, false, 0x400, 0);
+            }
+            std::hint::black_box(cache.misses())
+        })
+    });
+    group.finish();
+}
+
+fn hierarchy_bench(c: &mut Criterion) {
+    use athena_sim::MemoryHierarchy;
+    let mut group = c.benchmark_group("hierarchy");
+    group.throughput(Throughput::Elements(1));
+    // The full demand-load path with a trained prefetcher and an OCP attached: L1→L2→LLC
+    // probes, prefetcher triggering through the recycled request buffers (the hot path's
+    // queue state) and DRAM on the misses.
+    group.bench_function("demand_load_with_prefetcher", |b| {
+        let mut hierarchy = MemoryHierarchy::new(SimConfig::golden_cove_like());
+        hierarchy.attach_prefetcher(PrefetcherKind::Pythia.build());
+        hierarchy.attach_ocp(OcpKind::Popet.build());
+        let mut cycle = 0u64;
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            cycle += 4;
+            // A strided stream over a 16 MiB footprint: enough spatial structure that the
+            // prefetcher actually issues requests, enough footprint that levels miss.
+            let addr = (i.wrapping_mul(192)) & 0xff_ffff;
+            std::hint::black_box(
+                hierarchy
+                    .demand_load(0x400 + (i % 8), addr, cycle)
+                    .completion_cycle,
+            )
+        })
+    });
+    group.finish();
+}
+
 fn dram_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("dram");
     group.throughput(Throughput::Elements(1));
@@ -136,6 +206,15 @@ fn simulation_bench(c: &mut Criterion) {
             })
         });
     }
+    // One full quick-preset cell (the unit BENCH_sim.json's per-cell throughput is
+    // quoted in): 40 K instructions end to end, trace generation included.
+    group.throughput(Throughput::Elements(40_000));
+    group.bench_function("athena_cd1_cell_40k", |b| {
+        b.iter(|| {
+            let run = simulate(adverse, &config, CoordinatorKind::Athena, 40_000);
+            std::hint::black_box(run.cycles)
+        })
+    });
     group.finish();
 }
 
@@ -174,6 +253,8 @@ fn engine_bench(c: &mut Criterion) {
 criterion_group!(
     benches,
     cache_bench,
+    cache_soa_bench,
+    hierarchy_bench,
     dram_bench,
     qvstore_bench,
     bloom_bench,

@@ -151,10 +151,17 @@ impl Engine {
             // Stash the calling thread's accrual so the serial (`jobs == 1`) path does
             // not fold the engine's own store-fetch/merge time into a cell's profile.
             let stashed = athena_probe::swap_cell(PhaseProfile::new());
+            // The cell's wall-clock is measured co-extensively with the `Dispatch` root
+            // span (not around the whole pool closure): on an oversubscribed host a
+            // worker can sit descheduled between claiming a job and actually starting
+            // it, and that queueing delay belongs to the batch, not the cell — counting
+            // it made `phase total / wall` coverage collapse for small cells.
+            let cell_start = Instant::now();
             let output = {
                 let _span = athena_probe::span(Phase::Dispatch);
                 job.run()
             };
+            let wall = cell_start.elapsed();
             let profile = athena_probe::swap_cell(stashed);
             if self.progress {
                 let n = done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -162,7 +169,7 @@ impl Engine {
                 let eta = elapsed / n as f64 * (total - n) as f64;
                 eprint!("\r[{n}/{total} cells simulated, {hits} cached, ~{eta:.0}s left]  ");
             }
-            (output, (!profile.is_empty()).then_some(profile))
+            (output, wall, (!profile.is_empty()).then_some(profile))
         });
         if self.progress && total > 0 {
             eprintln!();
@@ -170,7 +177,7 @@ impl Engine {
         if let Some(handle) = &self.store {
             let mut persisted = 0usize;
             for (job, outcome) in misses.iter().zip(&outcomes) {
-                if let Ok(((output, _), _)) = outcome {
+                if let Ok(((output, _, _), _)) = outcome {
                     handle.persist(job, output);
                     persisted += 1;
                 }
@@ -188,7 +195,9 @@ impl Engine {
                 let (output, wall, cached, profile) = match hit {
                     Some(output) => (Ok(output), Duration::ZERO, true, None),
                     None => match fresh.next().expect("one simulated outcome per miss") {
-                        Ok(((output, profile), wall)) => (Ok(output), wall, false, profile),
+                        // The cell-scoped wall from the closure, not the pool's outer
+                        // timing (which includes worker queueing delay).
+                        Ok(((output, wall, profile), _)) => (Ok(output), wall, false, profile),
                         Err(message) => (Err(message), Duration::ZERO, false, None),
                     },
                 };

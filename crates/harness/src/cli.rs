@@ -256,6 +256,30 @@ misc:
   --version            print the workspace version and exit
   --help, -h           print this help and exit";
 
+/// `--help` text for the `bench_gate` binary.
+pub const BENCH_GATE_HELP: &str = "\
+bench_gate — simulator hot-path regression gate
+
+usage: bench_gate <BASELINE> <CANDIDATE> [--out <FILE>]
+
+Compares two BENCH_sim.json profiles (written by `figures --profile`) and exits
+non-zero when the hot path regressed. The comparison is host-independent: it checks
+each phase's *share* of the per-cell time (a candidate share must stay within
+baseline*1.10 + 0.02) and, when both profiles cover the same cell grid, each phase's
+call count per cell (within 1%). Absolute nanoseconds are reported but never gated —
+CI runners and developer machines are not comparable clocks.
+
+arguments:
+  BASELINE             the committed BENCH_sim.json to compare against
+  CANDIDATE            a freshly generated BENCH_sim.json
+
+options:
+  --out <FILE>         also write the comparison table to FILE (for CI artifacts)
+
+misc:
+  --version            print the workspace version and exit
+  --help, -h           print this help and exit";
+
 /// Renders `docs/CLI.md` from the help constants above.
 pub fn cli_reference() -> String {
     format!(
@@ -267,7 +291,8 @@ pub fn cli_reference() -> String {
          ## `figures`\n\n```text\n{FIGURES_HELP}\n```\n\n\
          ## `trace`\n\n```text\n{TRACE_HELP}\n```\n\n\
          ## `tune`\n\n```text\n{TUNE_HELP}\n```\n\n\
-         ## `results`\n\n```text\n{RESULTS_HELP}\n```\n"
+         ## `results`\n\n```text\n{RESULTS_HELP}\n```\n\n\
+         ## `bench_gate`\n\n```text\n{BENCH_GATE_HELP}\n```\n"
     )
 }
 
@@ -282,6 +307,7 @@ mod tests {
         assert!(doc.contains(TRACE_HELP));
         assert!(doc.contains(TUNE_HELP));
         assert!(doc.contains(RESULTS_HELP));
+        assert!(doc.contains(BENCH_GATE_HELP));
         assert!(doc.starts_with("# CLI reference"));
         assert!(doc.ends_with("```\n"));
     }

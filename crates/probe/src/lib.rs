@@ -26,9 +26,12 @@
 //! therefore depends on nothing; the JSONL writer is hand-rolled here, and the engine's
 //! `report::EVENTS_SCHEMA` constant asserts agreement with [`EVENTS_SCHEMA_ID`] by test.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the clock module holds the crate's single, documented
+// exemption (the `rdtsc` intrinsic backing span timestamps).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod clock;
 pub mod event;
 pub mod profile;
 

@@ -2,9 +2,9 @@
 //! and *self*-time nanoseconds into a per-cell [`PhaseProfile`].
 //!
 //! Profiling is a process-wide switch ([`set_profiling`]); when off, [`span`] is one
-//! relaxed atomic load and a branch. When on, each thread keeps a span stack: closing a
-//! span charges its elapsed time minus its children's elapsed time to its phase, and
-//! reports its whole elapsed time to its parent. Self-times are therefore disjoint — the
+//! relaxed atomic load and a branch. When on, the span stack lives implicitly in the
+//! nested guards themselves: closing a span charges its elapsed time minus its children's
+//! elapsed time to its phase, and reports its whole elapsed time to its parent. Self-times are therefore disjoint — the
 //! phases partition the instrumented wall-clock, and because the engine wraps each cell's
 //! entire execution in a [`Phase::Dispatch`] root span, a cell's phase totals sum back to
 //! its wall-clock (uninstrumented remainder included, charged to `dispatch`).
@@ -12,9 +12,9 @@
 //! The engine brackets each cell with [`begin_cell`] / [`take_cell`] on the worker thread
 //! that runs it, so a profile never mixes cells even when cells run in parallel.
 
-use std::cell::RefCell;
+use crate::clock;
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Instant;
 
 /// Process-wide profiling switch. Off by default.
 static PROFILING: AtomicBool = AtomicBool::new(false);
@@ -23,6 +23,10 @@ static PROFILING: AtomicBool = AtomicBool::new(false);
 /// startup (`--profile`); flipping it mid-cell is harmless but splits that cell's
 /// profile.
 pub fn set_profiling(enabled: bool) {
+    if enabled {
+        // Calibrate the tick clock before any span can arm itself.
+        clock::calibrate();
+    }
     PROFILING.store(enabled, Ordering::Relaxed);
 }
 
@@ -193,23 +197,62 @@ impl PhaseProfile {
     }
 }
 
-/// One open span on a thread's stack.
-struct Frame {
-    phase: Phase,
-    start: Instant,
-    /// Total elapsed (not self) nanoseconds of already-closed children.
-    child_nanos: u64,
+/// A thread's profiler state.
+///
+/// There is no explicit span stack: each open [`SpanGuard`] carries its parent's
+/// child-nanos accumulator, so the stack lives implicitly in the guards on the caller's
+/// call stack. `open_child_nanos` is always the accumulator of the *innermost* open span.
+/// Everything is `Cell`-based — opening and closing a span is a handful of plain loads
+/// and stores plus one clock read each, with no `RefCell` bookkeeping and no allocation.
+struct ThreadProfiler {
+    /// Bumped by every cell-bracketing operation ([`begin_cell`] / [`take_cell`] /
+    /// [`swap_cell`]). A guard records only if the generation it captured is still
+    /// current, so a span left open across a cell boundary discards itself instead of
+    /// charging time to the wrong cell (the role the old explicit-stack `clear()` played).
+    generation: Cell<u64>,
+    /// Elapsed (not self) nanoseconds of closed children of the innermost open span.
+    open_child_nanos: Cell<u64>,
+    calls: [Cell<u64>; PHASE_COUNT],
+    nanos: [Cell<u64>; PHASE_COUNT],
 }
 
-/// A thread's profiler state: the open-span stack and the profile being accumulated.
-#[derive(Default)]
-struct CellProfiler {
-    stack: Vec<Frame>,
-    profile: PhaseProfile,
+impl ThreadProfiler {
+    const fn new() -> Self {
+        // `Cell::new(0)` is not `Copy`, so spell the arrays out via a const.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: Cell<u64> = Cell::new(0);
+        Self {
+            generation: Cell::new(0),
+            open_child_nanos: Cell::new(0),
+            calls: [ZERO; PHASE_COUNT],
+            nanos: [ZERO; PHASE_COUNT],
+        }
+    }
+
+    /// Starts a fresh accrual: zeroes the counters (loading `next`'s contents instead)
+    /// and invalidates any still-open guards.
+    fn load(&self, next: &PhaseProfile) {
+        self.generation.set(self.generation.get() + 1);
+        self.open_child_nanos.set(0);
+        for i in 0..PHASE_COUNT {
+            self.calls[i].set(next.calls[i]);
+            self.nanos[i].set(next.nanos[i]);
+        }
+    }
+
+    /// Snapshot of the accumulated profile.
+    fn snapshot(&self) -> PhaseProfile {
+        let mut out = PhaseProfile::new();
+        for i in 0..PHASE_COUNT {
+            out.calls[i] = self.calls[i].get();
+            out.nanos[i] = self.nanos[i].get();
+        }
+        out
+    }
 }
 
 thread_local! {
-    static PROFILER: RefCell<CellProfiler> = RefCell::new(CellProfiler::default());
+    static PROFILER: ThreadProfiler = const { ThreadProfiler::new() };
 }
 
 /// Resets this thread's profiler for a fresh cell. The engine calls this on the worker
@@ -219,11 +262,7 @@ pub fn begin_cell() {
     if !profiling_enabled() {
         return;
     }
-    PROFILER.with(|p| {
-        let mut p = p.borrow_mut();
-        p.stack.clear();
-        p.profile = PhaseProfile::new();
-    });
+    PROFILER.with(|p| p.load(&PhaseProfile::new()));
 }
 
 /// Takes this thread's accumulated profile, leaving it empty. Returns `None` when
@@ -233,15 +272,14 @@ pub fn take_cell() -> Option<PhaseProfile> {
         return None;
     }
     PROFILER.with(|p| {
-        let mut p = p.borrow_mut();
-        p.stack.clear();
-        let profile = std::mem::take(&mut p.profile);
+        let profile = p.snapshot();
+        p.load(&PhaseProfile::new());
         (!profile.is_empty()).then_some(profile)
     })
 }
 
-/// Replaces this thread's accumulated profile with `next` (clearing any open spans) and
-/// returns the previous one. The engine's worker closure uses this to bracket a cell
+/// Replaces this thread's accumulated profile with `next` (invalidating any open spans)
+/// and returns the previous one. The engine's worker closure uses this to bracket a cell
 /// without destroying the caller's own accrual on the serial (`jobs == 1`) path, where
 /// cells run on the same thread as the engine's store-fetch/merge spans. When profiling
 /// is off this touches nothing and returns `next` back.
@@ -250,9 +288,9 @@ pub fn swap_cell(next: PhaseProfile) -> PhaseProfile {
         return next;
     }
     PROFILER.with(|p| {
-        let mut p = p.borrow_mut();
-        p.stack.clear();
-        std::mem::replace(&mut p.profile, next)
+        let previous = p.snapshot();
+        p.load(&next);
+        previous
     })
 }
 
@@ -262,41 +300,54 @@ pub fn swap_cell(next: PhaseProfile) -> PhaseProfile {
 #[inline]
 pub fn span(phase: Phase) -> SpanGuard {
     if !profiling_enabled() {
-        return SpanGuard { armed: false };
+        return SpanGuard { inner: None };
     }
-    PROFILER.with(|p| {
-        p.borrow_mut().stack.push(Frame {
+    let (generation, parent_child_nanos) =
+        PROFILER.with(|p| (p.generation.get(), p.open_child_nanos.replace(0)));
+    SpanGuard {
+        inner: Some(ArmedSpan {
             phase,
-            start: Instant::now(),
-            child_nanos: 0,
-        });
-    });
-    SpanGuard { armed: true }
+            generation,
+            parent_child_nanos,
+            start_ticks: clock::now_ticks(),
+        }),
+    }
+}
+
+struct ArmedSpan {
+    phase: Phase,
+    /// Generation captured at open; a cell-bracketing operation in between invalidates
+    /// the span (it then records nothing on close).
+    generation: u64,
+    /// The parent span's child-nanos accumulator, saved while this span is innermost.
+    parent_child_nanos: u64,
+    start_ticks: u64,
 }
 
 /// Guard returned by [`span`]; closing (dropping) it charges the span's self-time to its
 /// phase and its whole elapsed time to its parent span.
 #[must_use = "a span measures the scope of its guard; dropping it immediately records nothing"]
 pub struct SpanGuard {
-    armed: bool,
+    inner: Option<ArmedSpan>,
 }
 
 impl Drop for SpanGuard {
+    #[inline]
     fn drop(&mut self) {
-        if !self.armed {
+        let Some(span) = self.inner.take() else {
             return;
-        }
+        };
+        let elapsed = clock::ticks_to_nanos(clock::now_ticks().saturating_sub(span.start_ticks));
         PROFILER.with(|p| {
-            let mut p = p.borrow_mut();
-            // A begin_cell() between span open and close clears the stack; the guard
-            // then has nothing to pop (and must not pop a newer frame).
-            let Some(frame) = p.stack.pop() else { return };
-            let elapsed = frame.start.elapsed().as_nanos() as u64;
-            let self_nanos = elapsed.saturating_sub(frame.child_nanos);
-            p.profile.record(frame.phase, self_nanos);
-            if let Some(parent) = p.stack.last_mut() {
-                parent.child_nanos = parent.child_nanos.saturating_add(elapsed);
+            if p.generation.get() != span.generation {
+                return;
             }
+            let i = span.phase as usize;
+            let self_nanos = elapsed.saturating_sub(p.open_child_nanos.get());
+            p.calls[i].set(p.calls[i].get() + 1);
+            p.nanos[i].set(p.nanos[i].get().saturating_add(self_nanos));
+            p.open_child_nanos
+                .set(span.parent_child_nanos.saturating_add(elapsed));
         });
     }
 }
@@ -304,6 +355,7 @@ impl Drop for SpanGuard {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
 
     /// The profiling switch is process-wide, so the tests that flip it share one lock.
     static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());

@@ -4,6 +4,17 @@
 //! The cache simulates contents exactly (tags, replacement state, dirty bits) so that
 //! prefetch-induced pollution, prefetch usefulness and off-chip behaviour emerge from the
 //! simulated workload rather than from analytical approximations.
+//!
+//! Line state is stored structure-of-arrays (one flat array per field, indexed by
+//! `set * ways + way`) rather than as per-line structs: the hot lookup touches only the
+//! tag array until it has a hit, the tag scan over a set is a branch-free equality sweep
+//! over adjacent words, and the replacement / prefetch metadata arrays stay out of the
+//! cache lines the tag scan pulls in. Invalid slots hold a sentinel tag that no real
+//! address can produce, so the sweep needs no per-way validity test. The observable
+//! semantics — scan order, first-match priority, LRU tie-breaking on the first minimum,
+//! RRIP aging, every counter's update order — are identical to the former array-of-structs
+//! layout, which is what keeps end-of-run statistics byte-identical (pinned by
+//! `tests/sim_oracle.rs`).
 
 use crate::trace::LINE_SIZE;
 
@@ -102,49 +113,47 @@ pub struct EvictedLine {
     pub evicted_by_prefetch: bool,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    /// Brought in by a prefetch and not yet demanded.
-    prefetch: bool,
-    /// Demanded at least once while resident.
-    used: bool,
-    /// LRU stamp (higher = more recent) or RRPV depending on the policy.
-    lru: u64,
-    rrpv: u8,
-    /// SHiP signature of the filling PC.
-    signature: u16,
-    /// Cycle at which the fill's data is available (0 for lines filled in the past).
-    ready: u64,
-}
-
-impl Line {
-    fn invalid() -> Self {
-        Self {
-            tag: 0,
-            valid: false,
-            dirty: false,
-            prefetch: false,
-            used: false,
-            lru: 0,
-            rrpv: 3,
-            signature: 0,
-            ready: 0,
-        }
-    }
-}
+/// Tag stored in invalid slots. A real tag is `line_number / sets`, and line numbers are
+/// physical addresses shifted right by 6, so `u64::MAX` can never collide with one: the
+/// tag sweep needs no separate validity test.
+const INVALID_TAG: u64 = u64::MAX;
 
 const SHIP_TABLE_SIZE: usize = 1 << 12;
 const RRPV_MAX: u8 = 3;
 
+// Per-line metadata flag bits (packed into one byte per line).
+const F_VALID: u8 = 1 << 0;
+const F_DIRTY: u8 = 1 << 1;
+/// Brought in by a prefetch and not yet demanded.
+const F_PREFETCH: u8 = 1 << 2;
+/// Demanded at least once while resident.
+const F_USED: u8 = 1 << 3;
+
 /// A set-associative cache with exact content simulation.
+///
+/// Line state lives in parallel flat arrays indexed by `set * ways + way` — see the
+/// module docs for the layout rationale.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
     level: CacheLevel,
-    sets: Vec<Vec<Line>>,
+    set_count: usize,
+    ways: usize,
+    /// `set_count - 1` when the set count is a power of two (the common case for every
+    /// shipped configuration); the set index is then a mask and the tag a shift.
+    set_mask: u64,
+    /// `log2(set_count)` when the set count is a power of two.
+    set_shift: u32,
+    /// Whether the power-of-two fast path applies; otherwise division is used, producing
+    /// the same `(set, tag)` values.
+    pow2: bool,
+    // --- structure-of-arrays line state, indexed by set * ways + way ---
+    tags: Vec<u64>,
+    flags: Vec<u8>,
+    lru: Vec<u64>,
+    rrpv: Vec<u8>,
+    signature: Vec<u16>,
+    ready: Vec<u64>,
     lru_clock: u64,
     /// SHiP signature outcome counters (2-bit saturating).
     ship_table: Vec<u8>,
@@ -161,11 +170,24 @@ pub struct Cache {
 impl Cache {
     /// Creates an empty cache with the given configuration at the given level.
     pub fn new(config: CacheConfig, level: CacheLevel) -> Self {
-        let sets = config.sets();
+        let set_count = config.sets();
+        let ways = config.ways;
+        let lines = set_count * ways;
+        let pow2 = set_count.is_power_of_two();
         Self {
             config,
             level,
-            sets: vec![vec![Line::invalid(); config.ways]; sets],
+            set_count,
+            ways,
+            set_mask: set_count as u64 - 1,
+            set_shift: set_count.trailing_zeros(),
+            pow2,
+            tags: vec![INVALID_TAG; lines],
+            flags: vec![0; lines],
+            lru: vec![0; lines],
+            rrpv: vec![RRPV_MAX; lines],
+            signature: vec![0; lines],
+            ready: vec![0; lines],
             lru_clock: 0,
             ship_table: vec![1; SHIP_TABLE_SIZE],
             accesses: 0,
@@ -193,11 +215,27 @@ impl Cache {
         self.config.latency
     }
 
+    #[inline]
     fn index_of(&self, line_addr: u64) -> (usize, u64) {
         let line = line_addr / LINE_SIZE;
-        let set = (line % self.sets.len() as u64) as usize;
-        let tag = line / self.sets.len() as u64;
-        (set, tag)
+        if self.pow2 {
+            ((line & self.set_mask) as usize, line >> self.set_shift)
+        } else {
+            (
+                (line % self.set_count as u64) as usize,
+                line / self.set_count as u64,
+            )
+        }
+    }
+
+    /// Index of the first way in `set` whose tag matches, scanning ways in order.
+    /// Invalid slots hold [`INVALID_TAG`], so a plain equality sweep suffices.
+    #[inline]
+    fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = set * self.ways;
+        self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == tag)
     }
 
     fn ship_index(pc: u64) -> usize {
@@ -211,27 +249,25 @@ impl Cache {
         self.lru_clock += 1;
         let line_addr = addr & !(LINE_SIZE - 1);
         let (set, tag) = self.index_of(line_addr);
-        let clock = self.lru_clock;
-        for line in &mut self.sets[set] {
-            if line.valid && line.tag == tag {
-                self.hits += 1;
-                let first_use = line.prefetch && !line.used;
-                if first_use {
-                    self.useful_prefetches += 1;
-                }
-                line.used = true;
-                line.prefetch = false;
-                line.lru = clock;
-                line.rrpv = 0;
-                // SHiP: the signature that filled this line produced a re-reference.
-                let sig = line.signature as usize % SHIP_TABLE_SIZE;
-                self.ship_table[sig] = (self.ship_table[sig] + 1).min(3);
-                let _ = pc;
-                return LookupOutcome::Hit {
-                    first_use_of_prefetch: first_use,
-                    ready_cycle: line.ready,
-                };
+        if let Some(way) = self.find_way(set, tag) {
+            let i = set * self.ways + way;
+            self.hits += 1;
+            let f = self.flags[i];
+            let first_use = f & F_PREFETCH != 0 && f & F_USED == 0;
+            if first_use {
+                self.useful_prefetches += 1;
             }
+            self.flags[i] = (f | F_USED) & !F_PREFETCH;
+            self.lru[i] = self.lru_clock;
+            self.rrpv[i] = 0;
+            // SHiP: the signature that filled this line produced a re-reference.
+            let sig = self.signature[i] as usize % SHIP_TABLE_SIZE;
+            self.ship_table[sig] = (self.ship_table[sig] + 1).min(3);
+            let _ = pc;
+            return LookupOutcome::Hit {
+                first_use_of_prefetch: first_use,
+                ready_cycle: self.ready[i],
+            };
         }
         self.misses += 1;
         LookupOutcome::Miss
@@ -242,18 +278,15 @@ impl Cache {
     pub fn probe(&self, addr: u64) -> bool {
         let line_addr = addr & !(LINE_SIZE - 1);
         let (set, tag) = self.index_of(line_addr);
-        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+        self.find_way(set, tag).is_some()
     }
 
     /// Marks the line containing `addr` dirty if present (store hit).
     pub fn mark_dirty(&mut self, addr: u64) {
         let line_addr = addr & !(LINE_SIZE - 1);
         let (set, tag) = self.index_of(line_addr);
-        for line in &mut self.sets[set] {
-            if line.valid && line.tag == tag {
-                line.dirty = true;
-                return;
-            }
+        if let Some(way) = self.find_way(set, tag) {
+            self.flags[set * self.ways + way] |= F_DIRTY;
         }
     }
 
@@ -282,39 +315,37 @@ impl Cache {
         }
 
         // If already present just refresh metadata (e.g. a demand fill racing a prefetch).
-        if let Some(line) = self.sets[set].iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.lru = clock;
-            line.rrpv = if is_prefetch { 2 } else { 0 };
-            line.ready = line.ready.min(ready_cycle);
+        if let Some(way) = self.find_way(set, tag) {
+            let i = set * self.ways + way;
+            self.lru[i] = clock;
+            self.rrpv[i] = if is_prefetch { 2 } else { 0 };
+            self.ready[i] = self.ready[i].min(ready_cycle);
             if !is_prefetch {
-                line.prefetch = false;
-                line.used = true;
+                self.flags[i] = (self.flags[i] | F_USED) & !F_PREFETCH;
             }
             return None;
         }
 
         let victim_way = self.choose_victim(set);
-        let sets_count = self.sets.len() as u64;
-        let victim = {
-            let line = &self.sets[set][victim_way];
-            if line.valid {
-                Some(EvictedLine {
-                    line_addr: (line.tag * sets_count + set as u64) * LINE_SIZE,
-                    dirty: line.dirty,
-                    was_prefetch: line.prefetch,
-                    was_used: line.used,
-                    evicted_by_prefetch: is_prefetch,
-                })
-            } else {
-                None
-            }
+        let i = set * self.ways + victim_way;
+        let victim = if self.flags[i] & F_VALID != 0 {
+            let f = self.flags[i];
+            Some(EvictedLine {
+                line_addr: (self.tags[i] * self.set_count as u64 + set as u64) * LINE_SIZE,
+                dirty: f & F_DIRTY != 0,
+                was_prefetch: f & F_PREFETCH != 0,
+                was_used: f & F_USED != 0,
+                evicted_by_prefetch: is_prefetch,
+            })
+        } else {
+            None
         };
 
         if let Some(ev) = &victim {
             if ev.was_prefetch && !ev.was_used {
                 self.evicted_unused_prefetches += 1;
                 // SHiP: the filling signature produced no re-reference.
-                let sig = self.sets[set][victim_way].signature as usize % SHIP_TABLE_SIZE;
+                let sig = self.signature[i] as usize % SHIP_TABLE_SIZE;
                 self.ship_table[sig] = self.ship_table[sig].saturating_sub(1);
             }
         }
@@ -322,44 +353,54 @@ impl Cache {
         let signature = Self::ship_index(pc) as u16;
         let predicted_dead = self.config.replacement == Replacement::Ship
             && self.ship_table[signature as usize % SHIP_TABLE_SIZE] == 0;
-        self.sets[set][victim_way] = Line {
-            tag,
-            valid: true,
-            dirty: false,
-            prefetch: is_prefetch,
-            used: !is_prefetch,
-            lru: clock,
-            rrpv: if predicted_dead || is_prefetch {
-                RRPV_MAX - 1
-            } else {
-                1
-            },
-            signature,
-            ready: ready_cycle,
+        self.tags[i] = tag;
+        self.flags[i] = F_VALID | if is_prefetch { F_PREFETCH } else { F_USED };
+        self.lru[i] = clock;
+        self.rrpv[i] = if predicted_dead || is_prefetch {
+            RRPV_MAX - 1
+        } else {
+            1
         };
+        self.signature[i] = signature;
+        self.ready[i] = ready_cycle;
         victim
     }
 
     fn choose_victim(&mut self, set: usize) -> usize {
+        let base = set * self.ways;
         // Prefer an invalid way.
-        if let Some(idx) = self.sets[set].iter().position(|l| !l.valid) {
+        if let Some(idx) = self.flags[base..base + self.ways]
+            .iter()
+            .position(|&f| f & F_VALID == 0)
+        {
             return idx;
         }
         match self.config.replacement {
-            Replacement::Lru => self.sets[set]
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.lru)
-                .map(|(i, _)| i)
-                .unwrap_or(0),
+            Replacement::Lru => {
+                // First minimum wins, matching `Iterator::min_by_key` on the former
+                // per-line struct scan.
+                let mut best = 0usize;
+                let mut best_lru = self.lru[base];
+                for way in 1..self.ways {
+                    let stamp = self.lru[base + way];
+                    if stamp < best_lru {
+                        best = way;
+                        best_lru = stamp;
+                    }
+                }
+                best
+            }
             Replacement::Ship => {
                 // RRIP victim selection: evict a line with RRPV_MAX, aging until one exists.
                 loop {
-                    if let Some(idx) = self.sets[set].iter().position(|l| l.rrpv >= RRPV_MAX) {
+                    if let Some(idx) = self.rrpv[base..base + self.ways]
+                        .iter()
+                        .position(|&r| r >= RRPV_MAX)
+                    {
                         return idx;
                     }
-                    for l in &mut self.sets[set] {
-                        l.rrpv = (l.rrpv + 1).min(RRPV_MAX);
+                    for r in &mut self.rrpv[base..base + self.ways] {
+                        *r = (*r + 1).min(RRPV_MAX);
                     }
                 }
             }
@@ -371,21 +412,18 @@ impl Cache {
     pub fn invalidate(&mut self, addr: u64) -> bool {
         let line_addr = addr & !(LINE_SIZE - 1);
         let (set, tag) = self.index_of(line_addr);
-        for line in &mut self.sets[set] {
-            if line.valid && line.tag == tag {
-                line.valid = false;
-                return true;
-            }
+        if let Some(way) = self.find_way(set, tag) {
+            let i = set * self.ways + way;
+            self.tags[i] = INVALID_TAG;
+            self.flags[i] &= !F_VALID;
+            return true;
         }
         false
     }
 
     /// Number of valid lines currently resident.
     pub fn occupancy(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.iter().filter(|l| l.valid).count())
-            .sum()
+        self.flags.iter().filter(|&&f| f & F_VALID != 0).count()
     }
 
     /// Total lookups performed.
@@ -569,5 +607,29 @@ mod tests {
             replacement: Replacement::Lru,
         };
         assert_eq!(cfg.sets(), 64);
+    }
+
+    #[test]
+    fn non_power_of_two_set_counts_still_index_correctly() {
+        // 3 sets × 2 ways: exercises the division fallback of the set indexer.
+        let mut c = Cache::new(
+            CacheConfig {
+                name: "odd",
+                size_bytes: 3 * 2 * LINE_SIZE,
+                ways: 2,
+                latency: 1,
+                mshrs: 2,
+                replacement: Replacement::Lru,
+            },
+            CacheLevel::L1d,
+        );
+        assert_eq!(c.config().sets(), 3);
+        for i in 0..9u64 {
+            c.fill(i * LINE_SIZE, false, 0, 0);
+        }
+        for i in 3..9u64 {
+            assert!(c.probe(i * LINE_SIZE), "line {i} should be resident");
+        }
+        assert_eq!(c.occupancy(), 6);
     }
 }

@@ -11,6 +11,7 @@
 
 use std::collections::VecDeque;
 
+use crate::batch::StepBatch;
 use crate::branch::GsharePredictor;
 use crate::config::SimConfig;
 use crate::dram::DramStats;
@@ -306,21 +307,33 @@ impl Simulator {
     }
 
     /// Runs the simulation for at most `max_instructions` instructions from `trace`.
+    ///
+    /// With the profiler off this is a plain fetch/step loop with zero probe bookkeeping;
+    /// with it on, records are fetched and stepped in batches so the `trace_gen` /
+    /// `core_step` spans open once per batch instead of once per instruction (the record
+    /// *sequence* and every step are identical either way — trace generation does not
+    /// observe simulator state, so prefetching records cannot change a result byte).
     pub fn run<T: TraceSource>(&mut self, mut trace: T, max_instructions: u64) -> SimResult {
         let mut engine = CoreEngine::new(&self.config);
         if self.agent_telemetry {
             engine.enable_agent_telemetry();
         }
+        if !athena_probe::profiling_enabled() {
+            while engine.retired() < max_instructions {
+                let Some(record) = trace.next_record() else {
+                    break;
+                };
+                engine.step(record, &mut self.hierarchy);
+            }
+            return engine.finish(&mut self.hierarchy);
+        }
+        let mut batch = StepBatch::new();
         while engine.retired() < max_instructions {
-            let record = {
-                let _span = athena_probe::span(athena_probe::Phase::TraceGen);
-                trace.next_record()
-            };
-            let Some(record) = record else {
+            let exhausted = batch.refill(&mut trace, max_instructions - engine.retired());
+            batch.step_all(&mut engine, &mut self.hierarchy);
+            if exhausted {
                 break;
-            };
-            let _span = athena_probe::span(athena_probe::Phase::CoreStep);
-            engine.step(record, &mut self.hierarchy);
+            }
         }
         engine.finish(&mut self.hierarchy)
     }

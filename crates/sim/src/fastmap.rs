@@ -1,0 +1,86 @@
+//! A fast, deterministic hasher for the hierarchy's line-address bookkeeping.
+//!
+//! The pollution and provenance trackers key sets/maps by line address on every LLC
+//! eviction and prefetch issue. `std`'s default SipHash is keyed for HashDoS resistance
+//! the simulator does not need (the keys are simulated addresses, not attacker input) and
+//! costs a large fraction of each probe. This is the classic `FxHash` multiply-rotate
+//! scheme instead: a fixed (unseeded) function, so runs stay bit-deterministic, roughly
+//! 5× cheaper per `u64` key.
+//!
+//! Determinism note: hash-map *iteration order* still depends on capacity growth history,
+//! so — exactly as with the previous SipHash maps — no simulator code may iterate these
+//! containers; they are used for insert/remove/contains only.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher (FxHash); not HashDoS-resistant, which is fine for simulated
+/// addresses.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash = (self.hash.rotate_left(5) ^ u64::from(b)).wrapping_mul(SEED);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ n).wrapping_mul(SEED);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s (stateless, so every map hashes identically).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_is_deterministic_across_instances() {
+        let hash = |n: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(n);
+            h.finish()
+        };
+        assert_eq!(hash(0xdead_beef), hash(0xdead_beef));
+        assert_ne!(hash(1), hash(2));
+    }
+
+    #[test]
+    fn map_and_set_behave_like_std() {
+        let mut m: FxHashMap<u64, usize> = FxHashMap::default();
+        assert_eq!(m.insert(42, 1), None);
+        assert_eq!(m.insert(42, 2), Some(1));
+        assert_eq!(m.remove(&42), Some(2));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert!(s.remove(&7));
+        assert!(!s.remove(&7));
+    }
+}

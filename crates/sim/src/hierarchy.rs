@@ -14,12 +14,13 @@
 //!   `ocp_issue_latency` cycles, hiding the on-chip lookup serialisation.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 use crate::cache::{Cache, CacheLevel, EvictedLine, LookupOutcome};
 use crate::config::SimConfig;
 use crate::dram::{Dram, DramRequestKind, DramStats};
+use crate::fastmap::{FxHashMap, FxHashSet};
 use crate::stats::EpochStats;
 use crate::trace::{line_of, line_offset_in_page, page_of};
 use crate::traits::{
@@ -58,17 +59,25 @@ pub struct MemoryHierarchy {
 
     /// LLC lines evicted by prefetch fills; a subsequent demand miss on one of these is a
     /// pollution miss.
-    pollution_victims: HashSet<u64>,
+    pollution_victims: FxHashSet<u64>,
     /// Lines currently resident that were prefetched from DRAM and not yet demanded,
     /// mapped to the index of the prefetcher that requested them.
-    dram_prefetch_provenance: HashMap<u64, usize>,
+    dram_prefetch_provenance: FxHashMap<u64, usize>,
     /// Lines prefetched (from anywhere) and not yet used, mapped to prefetcher index, for
     /// usefulness feedback routing.
-    prefetch_provenance: HashMap<u64, usize>,
+    prefetch_provenance: FxHashMap<u64, usize>,
     /// Recently touched pages, for the `first_access_to_page` OCP feature.
     recent_pages: VecDeque<u64>,
     /// Rolling hash of the last few load PCs, for OCP context features.
     recent_pc_hash: u64,
+
+    /// Recycled per-trigger prefetch-request batches: `(prefetcher index, requests)`
+    /// pairs filled and drained by [`MemoryHierarchy::trigger_prefetchers`]. Kept between
+    /// calls (with their inner buffers) so the per-access hot path performs no heap
+    /// allocation in steady state.
+    pf_batches: Vec<(usize, Vec<PrefetchRequest>)>,
+    /// Pool of empty request buffers recycled by `trigger_prefetchers`.
+    pf_pool: Vec<Vec<PrefetchRequest>>,
 
     /// Cumulative counters that are not part of `EpochStats`.
     total_prefetch_fills_from_dram: u64,
@@ -99,11 +108,13 @@ impl MemoryHierarchy {
             decision: CoordinationDecision::all_on(&[]),
             epoch: EpochStats::default(),
             dram_at_epoch_start: DramStats::default(),
-            pollution_victims: HashSet::new(),
-            dram_prefetch_provenance: HashMap::new(),
-            prefetch_provenance: HashMap::new(),
+            pollution_victims: FxHashSet::default(),
+            dram_prefetch_provenance: FxHashMap::default(),
+            prefetch_provenance: FxHashMap::default(),
             recent_pages: VecDeque::with_capacity(64),
             recent_pc_hash: 0,
+            pf_batches: Vec::new(),
+            pf_pool: Vec::new(),
             total_prefetch_fills_from_dram: 0,
             total_prefetch_fills_from_dram_unused: 0,
         }
@@ -168,6 +179,15 @@ impl MemoryHierarchy {
     /// runs this is the shared channel, so the numbers cover all cores.
     pub fn dram_stats(&self) -> DramStats {
         self.dram.borrow().stats_snapshot()
+    }
+
+    /// Read access to the cache at `level` (for invariant tests and reporting).
+    pub fn cache(&self, level: CacheLevel) -> &Cache {
+        match level {
+            CacheLevel::L1d => &self.l1d,
+            CacheLevel::L2c => &self.l2c,
+            CacheLevel::Llc => &self.llc,
+        }
     }
 
     /// Whole-run count of prefetch fills brought from DRAM.
@@ -466,7 +486,10 @@ impl MemoryHierarchy {
             ),
             is_store,
         };
-        let mut batches: Vec<(usize, Vec<PrefetchRequest>)> = Vec::new();
+        // The batch list and its request buffers are recycled across calls (issue order —
+        // prefetchers in attach order, requests in production order — is unchanged).
+        let mut batches = std::mem::take(&mut self.pf_batches);
+        let mut pool = std::mem::take(&mut self.pf_pool);
         for (idx, p) in self.prefetchers.iter_mut().enumerate() {
             if p.level() != level {
                 continue;
@@ -480,17 +503,22 @@ impl MemoryHierarchy {
             {
                 continue;
             }
-            let mut out = Vec::new();
+            let mut out = pool.pop().unwrap_or_default();
             p.on_access(&ev, &mut out);
             if !out.is_empty() {
                 batches.push((idx, out));
+            } else {
+                pool.push(out);
             }
         }
-        for (idx, reqs) in batches {
-            for req in reqs {
+        for (idx, mut reqs) in batches.drain(..) {
+            for req in reqs.drain(..) {
                 self.issue_prefetch(idx, level, req, pc, cycle);
             }
+            pool.push(reqs);
         }
+        self.pf_batches = batches;
+        self.pf_pool = pool;
     }
 
     /// Issues one prefetch request from prefetcher `idx` attached at `level`.

@@ -39,11 +39,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 pub mod branch;
 pub mod cache;
 pub mod config;
 pub mod core;
 pub mod dram;
+pub mod fastmap;
 pub mod hierarchy;
 pub mod multicore;
 pub mod stats;

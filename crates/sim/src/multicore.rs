@@ -10,6 +10,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use crate::batch::StepBatch;
 use crate::config::SimConfig;
 use crate::core::{CoreEngine, SimResult};
 use crate::dram::Dram;
@@ -133,7 +134,14 @@ impl MultiCoreSimulator {
 
     /// Runs every core for `instructions_per_core` instructions (or until its trace ends)
     /// and returns the per-core results.
+    ///
+    /// Like [`crate::Simulator::run`], each core's quantum is advanced through a
+    /// fetch-then-step batch: a span-free plain loop with the profiler off, batched
+    /// `trace_gen` / `core_step` spans with it on. The round-robin schedule and every
+    /// per-record step are identical either way.
     pub fn run(mut self, instructions_per_core: u64) -> MultiCoreResult {
+        let profiled = athena_probe::profiling_enabled();
+        let mut batch = StepBatch::new();
         loop {
             let mut any_progress = false;
             for slot in &mut self.cores {
@@ -142,19 +150,23 @@ impl MultiCoreSimulator {
                     continue;
                 }
                 let target = (slot.engine.retired() + QUANTUM).min(instructions_per_core);
-                while slot.engine.retired() < target {
-                    let rec = {
-                        let _span = athena_probe::span(athena_probe::Phase::TraceGen);
-                        slot.trace.next_record()
-                    };
-                    match rec {
-                        Some(rec) => {
-                            let _span = athena_probe::span(athena_probe::Phase::CoreStep);
-                            slot.engine.step(rec, &mut slot.hierarchy)
-                        }
-                        None => {
+                if profiled {
+                    while slot.engine.retired() < target && !slot.done {
+                        let exhausted =
+                            batch.refill(&mut *slot.trace, target - slot.engine.retired());
+                        batch.step_all(&mut slot.engine, &mut slot.hierarchy);
+                        if exhausted {
                             slot.done = true;
-                            break;
+                        }
+                    }
+                } else {
+                    while slot.engine.retired() < target {
+                        match slot.trace.next_record() {
+                            Some(rec) => slot.engine.step(rec, &mut slot.hierarchy),
+                            None => {
+                                slot.done = true;
+                                break;
+                            }
                         }
                     }
                 }

@@ -209,12 +209,17 @@ fn a_panicking_cell_still_emits_its_event_and_fails_alone() {
 fn phase_totals_account_for_cell_wall_clock() {
     let _gate = gate();
     set_profiling(true);
+    // Four workers on purpose: an oversubscribed pool is the case where a worker sits
+    // descheduled between claiming a job and starting it. The cell wall-clock is measured
+    // co-extensively with the `dispatch` root span (not around the pool closure), so
+    // coverage must hold even when cells queue — this regressed once, to coverage < 0.1
+    // on a single-CPU host, when the wall included the queueing delay.
     let jobs: Vec<Job> = all_workloads()
         .into_iter()
-        .take(3)
+        .take(6)
         .map(|spec| Job::single("probe-test", spec, cd1(), CoordinatorKind::Athena, 30_000))
         .collect();
-    let results = Engine::new(1).run(jobs);
+    let results = Engine::new(4).run(jobs);
     set_profiling(false);
 
     for cell in &results {

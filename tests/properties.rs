@@ -3,11 +3,105 @@
 use proptest::prelude::*;
 
 use athena_repro::athena::{BloomFilter, CompositeReward, QvStore, RewardWeights};
+use athena_repro::prelude::{
+    all_workloads, simulate, CoordinatorKind, OcpKind, PrefetcherKind, SystemConfig, WorkloadSpec,
+};
 use athena_repro::sim::{
     Cache, CacheConfig, CacheLevel, Dram, DramRequestKind, EpochStats, Replacement, SimConfig,
-    Simulator, TraceRecord,
+    SimStats, Simulator, TraceRecord,
 };
 use athena_repro::workloads::{Pattern, TraceGenerator};
+
+/// The cache designs the full-system properties range over — one per hot-path shape:
+/// the paper's default L2C-prefetcher design, an L1D+L2C design, a two-L2C-prefetcher
+/// design and a no-OCP design.
+fn designs() -> Vec<SystemConfig> {
+    vec![
+        SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet),
+        SystemConfig::cd4(PrefetcherKind::Ipcp, PrefetcherKind::Pythia, OcpKind::Popet),
+        SystemConfig::cd3(PrefetcherKind::SppPpf, PrefetcherKind::Sms, OcpKind::Popet),
+        SystemConfig::prefetchers_only(PrefetcherKind::Mlop, PrefetcherKind::Pythia),
+    ]
+}
+
+/// Every coordination policy with a parameter-free constructor.
+fn kinds() -> Vec<CoordinatorKind> {
+    vec![
+        CoordinatorKind::Baseline,
+        CoordinatorKind::OcpOnly,
+        CoordinatorKind::PrefetchersOnly,
+        CoordinatorKind::Naive,
+        CoordinatorKind::Fixed {
+            ocp: true,
+            prefetchers: false,
+        },
+        CoordinatorKind::Hpac,
+        CoordinatorKind::Mab,
+        CoordinatorKind::Tlp,
+        CoordinatorKind::Athena,
+    ]
+}
+
+fn pick_workload(idx: usize) -> WorkloadSpec {
+    let all = all_workloads();
+    all[idx % all.len()].clone()
+}
+
+/// Mirrors the engine's job construction: a fully-configured single-core simulator for
+/// an arbitrary (design, coordinator) point, so properties can inspect the memory
+/// hierarchy after the run (the `simulate` entry point only returns the statistics).
+fn system_sim(design: &SystemConfig, kind: &CoordinatorKind) -> Simulator {
+    let mut sim = Simulator::new(design.sim.clone());
+    for p in &design.prefetchers {
+        sim = sim.with_prefetcher(p.build());
+    }
+    if let Some(ocp) = &design.ocp {
+        sim = sim.with_ocp(ocp.build());
+    }
+    sim.with_coordinator(kind.build())
+}
+
+/// The counter relations every finished run must satisfy, regardless of design,
+/// coordinator or workload.
+fn assert_stats_are_consistent(stats: &SimStats) {
+    assert!(
+        stats.prefetches_useful <= stats.prefetches_issued,
+        "useful prefetches ({}) exceed issued ({})",
+        stats.prefetches_useful,
+        stats.prefetches_issued
+    );
+    assert!(
+        stats.prefetches_late <= stats.prefetches_useful,
+        "late prefetches ({}) exceed useful ({})",
+        stats.prefetches_late,
+        stats.prefetches_useful
+    );
+    assert!(
+        stats.ocp_correct <= stats.ocp_predictions,
+        "correct OCP predictions ({}) exceed predictions made ({})",
+        stats.ocp_correct,
+        stats.ocp_predictions
+    );
+    assert!(
+        stats.loads_off_chip <= stats.loads,
+        "off-chip loads ({}) exceed loads ({})",
+        stats.loads_off_chip,
+        stats.loads
+    );
+    assert!(
+        stats.llc_misses <= stats.l2c_misses && stats.l2c_misses <= stats.l1d_misses,
+        "demand misses must filter down the hierarchy (L1D {} >= L2C {} >= LLC {})",
+        stats.l1d_misses,
+        stats.l2c_misses,
+        stats.llc_misses
+    );
+    assert!(
+        stats.branch_mispredicts <= stats.branches,
+        "mispredicts ({}) exceed branches ({})",
+        stats.branch_mispredicts,
+        stats.branches
+    );
+}
 
 fn small_cache(ways: usize, sets: usize) -> Cache {
     Cache::new(
@@ -136,6 +230,81 @@ proptest! {
         for pair in sorted.windows(2) {
             prop_assert!(pair[1] - pair[0] >= config.dram_cycles_per_line());
         }
+    }
+
+    /// After a full-system run on an arbitrary (design, coordinator, workload) point,
+    /// every cache level's counters balance: accesses = hits + misses, and occupancy
+    /// never exceeds capacity. This leans on the SoA cache rewrite keeping the counter
+    /// discipline of the original array-of-structs layout.
+    #[test]
+    fn cache_level_counters_balance_after_a_system_run(
+        design_idx in 0usize..4,
+        kind_idx in 0usize..9,
+        workload_idx in 0usize..64,
+        n in 4_000u64..9_000,
+    ) {
+        let design = designs()[design_idx].clone();
+        let kind = kinds()[kind_idx].clone();
+        let mut sim = system_sim(&design, &kind);
+        let result = sim.run(pick_workload(workload_idx).trace(), n);
+        prop_assert_eq!(result.instructions, n);
+        for level in [CacheLevel::L1d, CacheLevel::L2c, CacheLevel::Llc] {
+            let cache = sim.hierarchy().cache(level);
+            prop_assert_eq!(
+                cache.hits() + cache.misses(),
+                cache.accesses(),
+                "{:?}: hits + misses != accesses", level
+            );
+            let cfg = cache.config();
+            prop_assert!(
+                cache.occupancy() <= cfg.ways * cfg.sets(),
+                "{:?}: occupancy {} exceeds capacity", level, cache.occupancy()
+            );
+        }
+        assert_stats_are_consistent(&result.stats);
+    }
+
+    /// Per-epoch telemetry accumulates exactly to the run totals on arbitrary
+    /// (design, coordinator, workload) points — the epoch stream and the end-of-run
+    /// stats are two views of the same events, batched stepping notwithstanding.
+    #[test]
+    fn epoch_stats_accumulate_to_run_totals_for_any_system(
+        design_idx in 0usize..4,
+        kind_idx in 0usize..9,
+        workload_idx in 0usize..64,
+        n in 4_000u64..9_000,
+    ) {
+        let design = designs()[design_idx].clone();
+        let kind = kinds()[kind_idx].clone();
+        let result = simulate(&pick_workload(workload_idx), &design, kind, n);
+        let mut acc = SimStats::default();
+        for e in &result.epochs {
+            acc.absorb_epoch(e);
+        }
+        // The one counter with no per-epoch source: unused DRAM prefetch fills are only
+        // known at the end of the run (eviction time), so the hierarchy reports a run
+        // total directly.
+        acc.prefetch_fills_from_dram_unused = result.stats.prefetch_fills_from_dram_unused;
+        prop_assert_eq!(acc, result.stats.clone(), "accumulated epochs != run totals");
+        prop_assert_eq!(result.stats.instructions, n);
+        prop_assert_eq!(result.stats.cycles, result.cycles);
+    }
+
+    /// `simulate()` is a pure function of its arguments: re-running the same cell gives
+    /// byte-equal statistics, DRAM counters and epoch telemetry.
+    #[test]
+    fn simulate_is_deterministic_across_repeats(
+        design_idx in 0usize..4,
+        kind_idx in 0usize..9,
+        workload_idx in 0usize..64,
+        n in 3_000u64..7_000,
+    ) {
+        let design = designs()[design_idx].clone();
+        let kind = kinds()[kind_idx].clone();
+        let spec = pick_workload(workload_idx);
+        let a = simulate(&spec, &design, kind.clone(), n);
+        let b = simulate(&spec, &design, kind, n);
+        prop_assert_eq!(a, b, "two runs of the same cell diverged");
     }
 
     /// Whole-run epoch accounting: epoch instructions and cycles sum to the run totals, and
