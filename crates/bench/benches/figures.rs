@@ -40,6 +40,7 @@ fn figure_benches(c: &mut Criterion) {
         trace_dir: None,
         tuned_config: None,
         store: None,
+        dist: None,
         probe: None,
         progress: false,
     };

@@ -30,6 +30,7 @@ pub fn bench_options() -> athena_harness::RunOptions {
         trace_dir: None,
         tuned_config: None,
         store: None,
+        dist: None,
         probe: None,
         progress: false,
     }

@@ -1,0 +1,810 @@
+//! Distributed experiment execution: coordinator-side sharding and the worker serve loop.
+//!
+//! The in-process pool ([`crate::pool`]) caps a sweep at one process. This module adds
+//! the process boundary: a coordinator ([`DistPool`]) splits a batch of [`Job`]s into
+//! per-worker shards, spawns worker processes (any binary that calls [`serve`] — the
+//! `figures`/`tune` CLIs do so under `--worker`), streams per-cell result records back
+//! over the workers' stdio, and merges them **in submission order**, so every table and
+//! leaderboard is byte-identical at any worker count — exactly the contract the
+//! in-process pool honours.
+//!
+//! # Wire protocol
+//!
+//! Both directions speak length-delimited, checksummed frames over pipes:
+//!
+//! ```text
+//! [kind: u8] [len: u32 LE] [fnv64(payload): u64 LE] [payload: len bytes]
+//! ```
+//!
+//! Payloads are JSON documents declaring a [`crate::report::Schema`]
+//! (`athena-dist-*-v1`); the checksum is the same FNV-1a 64 the result store uses
+//! ([`athena_store::fnv64`]). The conversation is strictly: worker sends `HELLO`;
+//! coordinator sends one `SHARD` (an indexed job list, jobs serialised by
+//! [`crate::wire::job_json`]); worker answers one `RESULT` per cell — successful cells
+//! wrapped in the self-describing `athena-result-record-v1` envelope the result store
+//! writes — then `DONE`; coordinator closes the worker's stdin and the worker exits.
+//!
+//! # Failure discipline
+//!
+//! The two failure classes are deliberately treated differently:
+//!
+//! * **Death** — EOF or a truncated frame on a worker's stdout (crash, SIGKILL, broken
+//!   pipe). The coordinator reassigns the worker's unfinished cells to a freshly spawned
+//!   worker, at most [`MAX_ATTEMPTS`] attempts per cell, then fails loudly. Because a
+//!   cell's result is a pure function of the job, a retried cell is the *same* cell.
+//! * **Corruption** — a complete frame whose checksum or schema does not match, or a
+//!   result record whose `(identity, variant)` key disagrees with the job it claims to
+//!   answer. The coordinator panics immediately: a lying record is never merged, and
+//!   never silently recomputed over.
+//!
+//! Worker-side *cell* panics are neither: they are caught per cell (exactly like the
+//! in-process pool does) and travel back as `error` results, merging as that cell's
+//! `Err` outcome with no retry.
+//!
+//! Every lifecycle step emits a structured event ([`athena_probe::Event`]:
+//! `worker_joined`, `shard_dispatched`, `worker_died`, `cell_reassigned`) so a
+//! distributed run is observable after the fact.
+
+use std::collections::BTreeSet;
+use std::io::{self, Read, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use athena_probe::{Event, ProbeSink};
+use athena_store::fnv64;
+
+use crate::job::{Job, JobOutput};
+use crate::json::Json;
+use crate::report::{
+    u64_json, u64_value, DIST_DONE_SCHEMA, DIST_HELLO_SCHEMA, DIST_RESULT_SCHEMA,
+    DIST_SHARD_SCHEMA, RESULT_RECORD_SCHEMA,
+};
+use crate::store::{record_key, StoreHandle};
+use crate::wire::{job_from_json, job_json};
+
+/// Maximum attempts per cell before a repeatedly dying assignment fails the batch.
+pub const MAX_ATTEMPTS: u32 = 3;
+
+/// How long the coordinator waits for *any* worker message before declaring the batch
+/// stalled. Generous on purpose: it only exists to turn a hung worker into a loud
+/// failure instead of an eternal one.
+const RECV_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Frames larger than this are rejected as corrupt (a length field this big is garbage,
+/// not a real shard or record).
+const MAX_FRAME_LEN: u32 = 1 << 30;
+
+const KIND_HELLO: u8 = 1;
+const KIND_SHARD: u8 = 2;
+const KIND_RESULT: u8 = 3;
+const KIND_DONE: u8 = 4;
+
+// ---------------------------------------------------------------------------------------
+// Frame codec.
+// ---------------------------------------------------------------------------------------
+
+fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&[kind])?;
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&fnv64(payload).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` is a clean EOF at a frame boundary; an EOF *inside* a
+/// frame surfaces as `ErrorKind::UnexpectedEof` (truncation — the sender died
+/// mid-write); a complete frame that fails its checksum, carries an unknown kind, or an
+/// absurd length surfaces as `ErrorKind::InvalidData` (corruption).
+fn read_frame(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
+    let mut kind = [0u8; 1];
+    if r.read(&mut kind)? == 0 {
+        return Ok(None);
+    }
+    if !(KIND_HELLO..=KIND_DONE).contains(&kind[0]) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown frame kind {}", kind[0]),
+        ));
+    }
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_LEN}-byte bound"),
+        ));
+    }
+    let mut checksum = [0u8; 8];
+    r.read_exact(&mut checksum)?;
+    let checksum = u64::from_le_bytes(checksum);
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let actual = fnv64(&payload);
+    if actual != checksum {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame checksum mismatch: header says {checksum:#018x}, payload hashes to {actual:#018x}"),
+        ));
+    }
+    Ok(Some((kind[0], payload)))
+}
+
+// ---------------------------------------------------------------------------------------
+// Worker command and pool configuration.
+// ---------------------------------------------------------------------------------------
+
+/// How the coordinator launches one worker process: a program, its arguments, and extra
+/// environment variables. The launched process must enter [`serve`] (the harness CLIs do
+/// so under their `--worker` flag; the default command is the coordinator's own binary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerCommand {
+    /// Program to execute.
+    pub program: PathBuf,
+    /// Arguments passed to the program (e.g. `["--worker"]`).
+    pub args: Vec<String>,
+    /// Extra environment variables set on the worker (the rest of the environment is
+    /// inherited). Tests use this to inject faults per pool without touching the
+    /// process-global environment.
+    pub envs: Vec<(String, String)>,
+}
+
+impl WorkerCommand {
+    /// A command launching `program` with the given arguments and no extra environment.
+    pub fn new(program: impl Into<PathBuf>, args: &[&str]) -> Self {
+        Self {
+            program: program.into(),
+            args: args.iter().map(|a| a.to_string()).collect(),
+            envs: Vec::new(),
+        }
+    }
+
+    /// The coordinator's own binary run with `--worker` — the standard self-spawning
+    /// setup of the `figures` and `tune` CLIs.
+    pub fn self_worker() -> Result<Self, String> {
+        let exe = std::env::current_exe()
+            .map_err(|e| format!("cannot resolve the current executable: {e}"))?;
+        Ok(Self::new(exe, &["--worker"]))
+    }
+
+    /// Returns a copy with one extra environment variable set on spawned workers.
+    pub fn with_env(mut self, key: &str, value: &str) -> Self {
+        self.envs.push((key.to_string(), value.to_string()));
+        self
+    }
+}
+
+/// A distributed executor: runs job batches on `workers` spawned worker processes
+/// instead of in-process threads, with in-order merge and bounded retry (see the module
+/// docs). Plug one into an engine with [`crate::Engine::with_dist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistPool {
+    command: WorkerCommand,
+    workers: usize,
+}
+
+impl DistPool {
+    /// A pool spawning up to `workers` processes per batch via `command`.
+    pub fn new(command: WorkerCommand, workers: usize) -> Self {
+        Self {
+            command,
+            workers: workers.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The configured worker launch command.
+    pub fn command(&self) -> &WorkerCommand {
+        &self.command
+    }
+
+    /// Runs every job on the worker processes and returns one outcome per job, in
+    /// submission order: `Ok((output, worker-measured wall clock))` for completed cells,
+    /// `Err(message)` for cells that panicked on a worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics on corruption (a frame or record that lies — see the module docs), when a
+    /// cell's assignment has died [`MAX_ATTEMPTS`] times, when a worker cannot be
+    /// spawned, or when no worker produces any message for a very long time.
+    pub fn run_jobs(
+        &self,
+        probe: Option<&ProbeSink>,
+        jobs: &[Job],
+    ) -> Vec<Result<(JobOutput, Duration), String>> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let mut batch = Batch {
+            pool: self,
+            probe,
+            jobs,
+            outcomes: vec![None; jobs.len()],
+            filled: 0,
+            attempts: vec![0u32; jobs.len()],
+            workers: Vec::new(),
+        };
+        batch.run();
+        batch
+            .outcomes
+            .drain(..)
+            .map(|slot| slot.expect("every cell resolved"))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Coordinator side.
+// ---------------------------------------------------------------------------------------
+
+/// What a worker's reader thread forwards to the coordinator loop.
+enum MsgBody {
+    /// A complete, checksum-verified frame.
+    Frame(u8, Vec<u8>),
+    /// Clean EOF on the worker's stdout.
+    Eof,
+    /// The stream died mid-frame (truncation, crash).
+    Died(String),
+    /// A complete frame failed its checksum / carried garbage.
+    Corrupt(String),
+}
+
+struct Msg {
+    worker: usize,
+    body: MsgBody,
+}
+
+struct Worker {
+    id: usize,
+    child: Child,
+    /// Kept open until the worker's shard is done; dropping it signals the worker to
+    /// exit its serve loop.
+    stdin: Option<ChildStdin>,
+    /// Cell indices assigned to this worker and not yet answered.
+    outstanding: BTreeSet<usize>,
+    /// Whether the worker's `DONE` frame (or a benign EOF) arrived.
+    finished: bool,
+}
+
+struct Batch<'a> {
+    pool: &'a DistPool,
+    probe: Option<&'a ProbeSink>,
+    jobs: &'a [Job],
+    outcomes: Vec<Option<Result<(JobOutput, Duration), String>>>,
+    filled: usize,
+    attempts: Vec<u32>,
+    workers: Vec<Worker>,
+}
+
+impl Drop for Batch<'_> {
+    fn drop(&mut self) {
+        // Leave no orphans behind, whether the batch completed, panicked on corruption,
+        // or gave up on a dying assignment.
+        for w in &mut self.workers {
+            w.stdin.take();
+            let _ = w.child.kill();
+            let _ = w.child.wait();
+        }
+    }
+}
+
+impl Batch<'_> {
+    fn emit(&self, event: &Event) {
+        if let Some(sink) = self.probe {
+            sink.emit(event);
+        }
+    }
+
+    fn run(&mut self) {
+        let (tx, rx) = mpsc::channel::<Msg>();
+        let n = self.pool.workers.min(self.jobs.len());
+        // Round-robin static shards: worker w starts with cells w, w+n, w+2n, …
+        for w in 0..n {
+            let cells: Vec<usize> = (w..self.jobs.len()).step_by(n).collect();
+            self.spawn_worker(w, &cells, &tx);
+        }
+        let mut next_id = n;
+        while self.filled < self.jobs.len() {
+            let msg = match rx.recv_timeout(RECV_TIMEOUT) {
+                Ok(msg) => msg,
+                Err(_) => panic!(
+                    "distributed batch stalled: no worker message for {}s with {} of {} \
+                     cells unresolved",
+                    RECV_TIMEOUT.as_secs(),
+                    self.jobs.len() - self.filled,
+                    self.filled
+                ),
+            };
+            let slot = self
+                .workers
+                .iter()
+                .position(|w| w.id == msg.worker)
+                .expect("message from a known worker");
+            match msg.body {
+                MsgBody::Frame(KIND_HELLO, payload) => self.check_hello(msg.worker, &payload),
+                MsgBody::Frame(KIND_RESULT, payload) => self.merge_result(slot, &payload),
+                MsgBody::Frame(KIND_DONE, _) => {
+                    self.workers[slot].finished = true;
+                    // Closing stdin tells the worker its shard was the last one.
+                    self.workers[slot].stdin.take();
+                }
+                MsgBody::Frame(kind, _) => panic!(
+                    "distributed worker #{}: protocol violation: unexpected frame kind {kind}",
+                    msg.worker
+                ),
+                MsgBody::Eof | MsgBody::Died(_) => {
+                    let detail = match msg.body {
+                        MsgBody::Died(detail) => detail,
+                        _ => "stream ended before DONE".to_string(),
+                    };
+                    let unfinished: Vec<usize> =
+                        self.workers[slot].outstanding.iter().copied().collect();
+                    if self.workers[slot].finished || unfinished.is_empty() {
+                        // Normal exit after DONE, or a death that cost nothing.
+                        self.workers[slot].finished = true;
+                        continue;
+                    }
+                    self.emit(&Event::WorkerDied {
+                        worker: msg.worker,
+                        outstanding: unfinished.len(),
+                        error: detail.clone(),
+                    });
+                    for &i in &unfinished {
+                        self.attempts[i] += 1;
+                        assert!(
+                            self.attempts[i] < MAX_ATTEMPTS,
+                            "cell '{}' lost its worker {MAX_ATTEMPTS} times (last: {detail}); \
+                             giving up on the batch",
+                            self.jobs[i].label()
+                        );
+                    }
+                    self.workers[slot].finished = true;
+                    self.workers[slot].outstanding.clear();
+                    let to_worker = next_id;
+                    next_id += 1;
+                    for &i in &unfinished {
+                        self.emit(&Event::CellReassigned {
+                            experiment: self.jobs[i].experiment.clone(),
+                            label: self.jobs[i].label(),
+                            from_worker: msg.worker,
+                            to_worker,
+                        });
+                    }
+                    self.spawn_worker(to_worker, &unfinished, &tx);
+                }
+                MsgBody::Corrupt(detail) => panic!(
+                    "distributed worker #{} sent a corrupt frame ({detail}); refusing to \
+                     merge anything it said — rerun, and if this repeats check the host",
+                    msg.worker
+                ),
+            }
+        }
+    }
+
+    /// Spawns one worker, ships its shard, and starts its reader thread. A shard that
+    /// cannot be written (worker died before reading it) is reported back through the
+    /// channel as a death, so the normal reassignment path retries it.
+    fn spawn_worker(&mut self, id: usize, cells: &[usize], tx: &mpsc::Sender<Msg>) {
+        let cmd = &self.pool.command;
+        let mut child = Command::new(&cmd.program)
+            .args(&cmd.args)
+            .envs(cmd.envs.iter().map(|(k, v)| (k.as_str(), v.as_str())))
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .unwrap_or_else(|e| {
+                panic!(
+                    "cannot spawn distributed worker '{}': {e}",
+                    cmd.program.display()
+                )
+            });
+        let mut stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        self.emit(&Event::WorkerJoined {
+            worker: id,
+            pid: child.id() as u64,
+        });
+        let payload = shard_payload(self.jobs, cells);
+        self.emit(&Event::ShardDispatched {
+            worker: id,
+            cells: cells.len(),
+        });
+        let reader_tx = tx.clone();
+        std::thread::spawn(move || {
+            let mut stdout = io::BufReader::new(stdout);
+            loop {
+                let body = match read_frame(&mut stdout) {
+                    Ok(Some((kind, payload))) => MsgBody::Frame(kind, payload),
+                    Ok(None) => MsgBody::Eof,
+                    Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                        MsgBody::Corrupt(e.to_string())
+                    }
+                    Err(e) => MsgBody::Died(e.to_string()),
+                };
+                let last = !matches!(body, MsgBody::Frame(..));
+                if reader_tx.send(Msg { worker: id, body }).is_err() || last {
+                    return;
+                }
+            }
+        });
+        let shard_sent = write_frame(&mut stdin, KIND_SHARD, &payload);
+        self.workers.push(Worker {
+            id,
+            child,
+            stdin: Some(stdin),
+            outstanding: cells.iter().copied().collect(),
+            finished: false,
+        });
+        if let Err(e) = shard_sent {
+            // The worker died before reading its shard; the reader thread will also see
+            // EOF, but the write error is the more precise diagnosis.
+            let _ = tx.send(Msg {
+                worker: id,
+                body: MsgBody::Died(format!("shard could not be written: {e}")),
+            });
+        }
+    }
+
+    fn check_hello(&self, worker: usize, payload: &[u8]) {
+        let doc = parse_payload(worker, payload);
+        if !DIST_HELLO_SCHEMA.matches(&doc) {
+            panic!(
+                "distributed worker #{worker} did not speak the '{}' handshake — wrong \
+                 program or version behind the worker command?",
+                DIST_HELLO_SCHEMA.id()
+            );
+        }
+    }
+
+    /// Verifies and merges one `RESULT` frame. Every mismatch in here is corruption — a
+    /// checksum-valid frame whose *content* lies — and panics rather than merging.
+    fn merge_result(&mut self, slot: usize, payload: &[u8]) {
+        let worker = self.workers[slot].id;
+        let doc = parse_payload(worker, payload);
+        assert!(
+            DIST_RESULT_SCHEMA.matches(&doc),
+            "distributed worker #{worker}: result frame does not declare schema '{}'",
+            DIST_RESULT_SCHEMA.id()
+        );
+        let index = doc
+            .get("index")
+            .and_then(u64_value)
+            .unwrap_or_else(|| panic!("distributed worker #{worker}: result has no cell index"))
+            as usize;
+        assert!(
+            self.workers[slot].outstanding.remove(&index),
+            "distributed worker #{worker} answered cell {index}, which it does not own"
+        );
+        let job = &self.jobs[index];
+        let wall = Duration::from_nanos(doc.get("wall_nanos").and_then(u64_value).unwrap_or(0));
+        let outcome = if let Some(error) = doc.get("error") {
+            let message = error
+                .as_str()
+                .unwrap_or_else(|| {
+                    panic!("distributed worker #{worker}: non-string error for cell {index}")
+                })
+                .to_string();
+            Err(message)
+        } else {
+            let record = doc.get("record").unwrap_or_else(|| {
+                panic!("distributed worker #{worker}: result for cell {index} has no record")
+            });
+            assert!(
+                RESULT_RECORD_SCHEMA.matches(record),
+                "distributed worker #{worker}: cell {index} record does not declare \
+                 schema '{}'",
+                RESULT_RECORD_SCHEMA.id()
+            );
+            let key = record_key(job);
+            let sent_identity = record.get("identity").and_then(Json::as_hex_u64);
+            let sent_variant = record.get("variant").and_then(Json::as_hex_u64);
+            if sent_identity != Some(key.identity) || sent_variant != Some(key.variant) {
+                panic!(
+                    "distributed worker #{worker} sent a lying record for cell '{}': \
+                     claims key {}.{}, the job's key is {:016x}.{:016x} — refusing to merge",
+                    job.label(),
+                    sent_identity.map_or("?".into(), |v| format!("{v:016x}")),
+                    sent_variant.map_or("?".into(), |v| format!("{v:016x}")),
+                    key.identity,
+                    key.variant
+                );
+            }
+            let output = record
+                .get("output")
+                .ok_or("record has no 'output' field".to_string())
+                .and_then(crate::report::job_output_from_json)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "distributed worker #{worker}: record for cell '{}' does not \
+                         decode: {e}",
+                        job.label()
+                    )
+                });
+            Ok((output, wall))
+        };
+        assert!(
+            self.outcomes[index].is_none(),
+            "cell {index} resolved twice — workers overlapped"
+        );
+        self.outcomes[index] = Some(outcome);
+        self.filled += 1;
+    }
+}
+
+fn parse_payload(worker: usize, payload: &[u8]) -> Json {
+    let text = std::str::from_utf8(payload).unwrap_or_else(|e| {
+        panic!("distributed worker #{worker}: frame payload is not UTF-8: {e}")
+    });
+    Json::parse(text)
+        .unwrap_or_else(|e| panic!("distributed worker #{worker}: frame payload is not JSON: {e}"))
+}
+
+fn shard_payload(jobs: &[Job], cells: &[usize]) -> Vec<u8> {
+    let cells = cells
+        .iter()
+        .map(|&i| {
+            Json::obj(vec![
+                ("index", u64_json(i as u64)),
+                ("job", job_json(&jobs[i])),
+            ])
+        })
+        .collect();
+    DIST_SHARD_SCHEMA
+        .document(vec![("cells", Json::arr(cells))])
+        .to_string()
+        .into_bytes()
+}
+
+// ---------------------------------------------------------------------------------------
+// Worker side.
+// ---------------------------------------------------------------------------------------
+
+/// Optional fault injection, for the cross-process test harness. Workers read these
+/// environment variables once at startup; each marker-file fault fires exactly once
+/// across a whole test run (respawned workers find the marker claimed and behave).
+struct Faults {
+    /// `ATHENA_DIST_FAULT_DIE`: SIGKILL this worker right after it sends its first
+    /// result of a shard (mid-shard death).
+    die: Option<PathBuf>,
+    /// `ATHENA_DIST_FAULT_TRUNCATE`: write half of the first result frame, then exit.
+    truncate: Option<PathBuf>,
+    /// `ATHENA_DIST_FAULT_CORRUPT`: flip one payload bit of the first result frame
+    /// *after* computing its checksum.
+    corrupt: Option<PathBuf>,
+    /// `ATHENA_DIST_FAULT_PANIC`: panic inside any cell whose label contains this
+    /// substring (exercising per-cell panic isolation across the process boundary).
+    panic_label: Option<String>,
+}
+
+impl Faults {
+    fn from_env() -> Self {
+        let path = |key: &str| std::env::var_os(key).map(PathBuf::from);
+        Self {
+            die: path("ATHENA_DIST_FAULT_DIE"),
+            truncate: path("ATHENA_DIST_FAULT_TRUNCATE"),
+            corrupt: path("ATHENA_DIST_FAULT_CORRUPT"),
+            panic_label: std::env::var("ATHENA_DIST_FAULT_PANIC").ok(),
+        }
+    }
+
+    /// Atomically claims a marker file; only one worker ever wins one, so a fault fires
+    /// once even when several workers race for it or a replacement worker respawns.
+    fn claim(marker: &Option<PathBuf>) -> bool {
+        let Some(path) = marker else { return false };
+        std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)
+            .is_ok()
+    }
+}
+
+/// Kills the current process with SIGKILL (the hardest death a worker can die — no
+/// destructors, no flushing), falling back to `abort` if no `kill` binary exists.
+fn die_hard() -> ! {
+    let pid = std::process::id().to_string();
+    let _ = Command::new("kill").args(["-9", &pid]).status();
+    // SIGKILL delivery can race the return from `status`; abort covers the gap (and
+    // non-unix hosts).
+    std::process::abort();
+}
+
+fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked".to_string()
+    }
+}
+
+/// Runs the worker serve loop over this process's stdin/stdout until the coordinator
+/// closes the pipe: handshake, then one shard at a time — run every cell (panics caught
+/// per cell, exactly like the in-process pool), stream one `RESULT` frame per cell and a
+/// `DONE` frame per shard.
+///
+/// The harness CLIs call this under their `--worker` flag; any binary that does the same
+/// can serve a [`DistPool`].
+///
+/// # Panics
+///
+/// Panics if the coordinator side of the pipe breaks mid-protocol or sends garbage — a
+/// worker with a broken coordinator has nothing useful left to do, and the coordinator
+/// treats the resulting death as exactly that.
+pub fn serve() {
+    let faults = Faults::from_env();
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut input = stdin.lock();
+    let mut output = io::BufWriter::new(stdout.lock());
+    let hello = DIST_HELLO_SCHEMA.document(vec![("pid", u64_json(std::process::id() as u64))]);
+    write_frame(&mut output, KIND_HELLO, hello.to_string().as_bytes())
+        .expect("worker cannot write its handshake");
+    loop {
+        let frame = read_frame(&mut input).unwrap_or_else(|e| {
+            panic!("worker: cannot read from the coordinator: {e}");
+        });
+        let Some((kind, payload)) = frame else {
+            return; // Coordinator closed our stdin: shutdown.
+        };
+        assert_eq!(
+            kind, KIND_SHARD,
+            "worker: expected a SHARD frame, got {kind}"
+        );
+        let doc =
+            Json::parse(std::str::from_utf8(&payload).expect("worker: shard payload is not UTF-8"))
+                .unwrap_or_else(|e| panic!("worker: shard payload is not JSON: {e}"));
+        assert!(
+            DIST_SHARD_SCHEMA.matches(&doc),
+            "worker: shard does not declare schema '{}'",
+            DIST_SHARD_SCHEMA.id()
+        );
+        let cells = doc
+            .get("cells")
+            .and_then(Json::as_array)
+            .expect("worker: shard has no 'cells' array");
+        for (nth, cell) in cells.iter().enumerate() {
+            let index = cell
+                .get("index")
+                .and_then(u64_value)
+                .expect("worker: shard cell has no index");
+            let job = job_from_json(cell.get("job").expect("worker: shard cell has no job"))
+                .unwrap_or_else(|e| panic!("worker: cannot reconstruct cell {index}: {e}"));
+            let start = Instant::now();
+            let faulty = faults
+                .panic_label
+                .as_deref()
+                .is_some_and(|needle| job.label().contains(needle));
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if faulty {
+                    panic!("injected worker fault: cell panics");
+                }
+                job.run()
+            }))
+            .map_err(panic_message);
+            let wall = start.elapsed();
+            let mut fields = vec![
+                ("index", u64_json(index)),
+                ("wall_nanos", u64_json(wall.as_nanos() as u64)),
+            ];
+            let record_doc;
+            match &outcome {
+                Ok(output) => {
+                    record_doc = Json::parse(
+                        std::str::from_utf8(&StoreHandle::encode(&job, output))
+                            .expect("record payloads are UTF-8"),
+                    )
+                    .expect("record payloads are JSON");
+                    fields.push(("record", record_doc));
+                }
+                Err(message) => fields.push(("error", Json::str(message))),
+            }
+            let result = DIST_RESULT_SCHEMA.document(fields).to_string().into_bytes();
+            if nth == 0 && Faults::claim(&faults.corrupt) {
+                send_corrupted(&mut output, &result);
+            } else if nth == 0 && Faults::claim(&faults.truncate) {
+                send_truncated(&mut output, &result);
+            } else {
+                write_frame(&mut output, KIND_RESULT, &result)
+                    .expect("worker: cannot write a result frame");
+            }
+            if Faults::claim(&faults.die) {
+                die_hard();
+            }
+        }
+        let done = DIST_DONE_SCHEMA.document(vec![("cells", u64_json(cells.len() as u64))]);
+        write_frame(&mut output, KIND_DONE, done.to_string().as_bytes())
+            .expect("worker: cannot write the DONE frame");
+    }
+}
+
+/// Fault injection: a frame whose checksum was computed over the honest payload but
+/// whose payload has one bit flipped — byte-level corruption the coordinator must catch.
+fn send_corrupted(w: &mut impl Write, payload: &[u8]) {
+    let mut lying = payload.to_vec();
+    let mid = lying.len() / 2;
+    lying[mid] ^= 0x01;
+    let mut frame = vec![KIND_RESULT];
+    frame.extend((payload.len() as u32).to_le_bytes());
+    frame.extend(fnv64(payload).to_le_bytes());
+    frame.extend(&lying);
+    w.write_all(&frame)
+        .and_then(|()| w.flush())
+        .expect("worker: cannot write");
+}
+
+/// Fault injection: the first half of an honest frame, then a silent exit — truncation,
+/// which the coordinator must treat as a death, not as corruption to merge around.
+fn send_truncated(w: &mut impl Write, payload: &[u8]) -> ! {
+    let mut frame = vec![KIND_RESULT];
+    frame.extend((payload.len() as u32).to_le_bytes());
+    frame.extend(fnv64(payload).to_le_bytes());
+    frame.extend(payload);
+    frame.truncate(frame.len() / 2);
+    let _ = w.write_all(&frame);
+    let _ = w.flush();
+    std::process::exit(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, KIND_SHARD, b"hello world").unwrap();
+        write_frame(&mut buf, KIND_DONE, b"").unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Some((KIND_SHARD, b"hello world".to_vec()))
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), Some((KIND_DONE, Vec::new())));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn a_flipped_bit_is_invalid_data_and_a_cut_frame_is_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, KIND_RESULT, b"payload bytes").unwrap();
+        let mut flipped = buf.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        let err = read_frame(&mut io::Cursor::new(flipped)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        let cut = &buf[..buf.len() / 2];
+        let err = read_frame(&mut io::Cursor::new(cut.to_vec())).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn garbage_kinds_and_absurd_lengths_are_invalid_data() {
+        let err = read_frame(&mut io::Cursor::new(vec![99u8, 0, 0, 0, 0])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let mut huge = vec![KIND_SHARD];
+        huge.extend(u32::MAX.to_le_bytes());
+        huge.extend(0u64.to_le_bytes());
+        let err = read_frame(&mut io::Cursor::new(huge)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn pools_compare_by_configuration() {
+        let cmd = WorkerCommand::new("/bin/true", &["--worker"]);
+        assert_eq!(DistPool::new(cmd.clone(), 4), DistPool::new(cmd.clone(), 4));
+        assert_ne!(DistPool::new(cmd.clone(), 4), DistPool::new(cmd.clone(), 2));
+        let other = cmd.clone().with_env("K", "V");
+        assert_ne!(DistPool::new(cmd, 4), DistPool::new(other, 4));
+    }
+}

@@ -7,18 +7,20 @@ use std::time::{Duration, Instant};
 use athena_probe::{Event, Phase, PhaseProfile, ProbeSink};
 use athena_sim::MultiCoreResult;
 
+use crate::dist::DistPool;
 use crate::job::{Job, JobOutput, RunResult};
-use crate::pool::{available_parallelism, parallel_map};
+use crate::pool::{available_parallelism, parallel_map, PoolOutcome};
 use crate::record;
 use crate::store::StoreHandle;
 
 /// A parallel experiment executor with a fixed worker count, an optional persistent
-/// result store, and optional observability (a structured event sink and a stderr
-/// progress line).
+/// result store, an optional distributed worker pool, and optional observability (a
+/// structured event sink and a stderr progress line).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Engine {
     jobs: usize,
     store: Option<StoreHandle>,
+    dist: Option<DistPool>,
     probe: Option<ProbeSink>,
     progress: bool,
 }
@@ -30,6 +32,7 @@ impl Engine {
         Self {
             jobs: jobs.max(1),
             store: None,
+            dist: None,
             probe: None,
             progress: false,
         }
@@ -58,6 +61,16 @@ impl Engine {
         self
     }
 
+    /// Attaches a distributed worker pool ([`crate::dist`]): batches run their
+    /// store-missing cells on spawned worker processes instead of in-process threads.
+    /// Store consultation, persistence, event emission and the in-order merge all stay
+    /// on the coordinator, so tables come out byte-identical to an in-process run at any
+    /// worker count.
+    pub fn with_dist(mut self, dist: Option<DistPool>) -> Self {
+        self.dist = dist;
+        self
+    }
+
     /// Enables a live `cells done / cached / ETA` progress line on stderr while batches
     /// simulate (builder style). Off by default.
     pub fn with_progress(mut self, progress: bool) -> Self {
@@ -73,6 +86,11 @@ impl Engine {
     /// The attached result store, if any.
     pub fn store(&self) -> Option<&StoreHandle> {
         self.store.as_ref()
+    }
+
+    /// The attached distributed worker pool, if any.
+    pub fn dist(&self) -> Option<&DistPool> {
+        self.dist.as_ref()
     }
 
     /// The attached event sink, if any.
@@ -147,6 +165,22 @@ impl Engine {
         let hits = jobs.len() - total;
         let done = AtomicUsize::new(0);
         let batch_start = Instant::now();
+        if let Some(pool) = &self.dist {
+            // Distributed execution: the misses run on worker processes; everything
+            // around them (store, events, merge, recording) is the same code path below.
+            let remote = pool.run_jobs(self.probe.as_ref(), &misses);
+            let outcomes = remote
+                .into_iter()
+                .map(|outcome| {
+                    outcome.map(|(output, wall)| {
+                        // Workers measure the cell's wall-clock; profiles stay local-only
+                        // (a worker's phase accrual does not cross the pipe).
+                        ((output, wall, None), wall)
+                    })
+                })
+                .collect();
+            return self.merge(jobs, cached, misses, outcomes);
+        }
         let outcomes = parallel_map(self.jobs, &misses, |job| {
             // Stash the calling thread's accrual so the serial (`jobs == 1`) path does
             // not fold the engine's own store-fetch/merge time into a cell's profile.
@@ -174,6 +208,19 @@ impl Engine {
         if self.progress && total > 0 {
             eprintln!();
         }
+        self.merge(jobs, cached, misses, outcomes)
+    }
+
+    /// The shared tail of [`Engine::run`] for both executors: persist newly simulated
+    /// successes, merge outcomes back into submission order, emit per-cell events and
+    /// forward the batch to any active recording scope.
+    fn merge(
+        &self,
+        jobs: Vec<Job>,
+        cached: Vec<Option<JobOutput>>,
+        misses: Vec<Job>,
+        outcomes: Vec<PoolOutcome<(JobOutput, Duration, Option<PhaseProfile>)>>,
+    ) -> Vec<CellResult> {
         if let Some(handle) = &self.store {
             let mut persisted = 0usize;
             for (job, outcome) in misses.iter().zip(&outcomes) {

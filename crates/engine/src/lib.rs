@@ -23,6 +23,12 @@
 //!   ([`StoreHandle`], crate `athena-store`) serves previously simulated cells, keyed by
 //!   [`Job::identity_hash`], so warm re-runs simulate nothing and killed sweeps resume
 //!   paying only for missing cells ([`Engine::with_store`]).
+//! * **Distribution** — an optional coordinator/worker executor ([`DistPool`], module
+//!   [`dist`]) shards a batch across spawned worker processes over a length-delimited
+//!   checksummed stdio protocol (jobs serialised by [`wire`]), with bounded
+//!   retry/reassignment on worker death and a loud failure on corruption; merge order
+//!   and the result store stay on the coordinator, so tables remain byte-identical at
+//!   any worker count ([`Engine::with_dist`]).
 //!
 //! ```
 //! use athena_engine::{CoordinatorKind, Engine, Job, OcpKind, PrefetcherKind, SystemConfig};
@@ -48,12 +54,15 @@ mod kinds;
 mod record;
 mod table;
 
+pub mod dist;
 pub mod json;
 pub mod pool;
 pub mod report;
 pub mod seed;
 pub mod store;
+pub mod wire;
 
+pub use dist::{DistPool, WorkerCommand};
 pub use exec::{CellResult, Engine};
 pub use job::{
     simulate, simulate_multicore, FileWorkload, Job, JobOutput, RunResult, SeedPolicy,

@@ -54,6 +54,15 @@ pub const RESULT_RECORD_SCHEMA: Schema = Schema::new("result-record", 1);
 pub const EVENTS_SCHEMA: Schema = Schema::new("events", 1);
 /// Schema of the `BENCH_sim.json` snapshot (the `figures --profile` per-phase aggregate).
 pub const SIM_BENCH_SCHEMA: Schema = Schema::new("sim-bench", 1);
+/// Schema of a distributed worker's handshake frame (`crate::dist`).
+pub const DIST_HELLO_SCHEMA: Schema = Schema::new("dist-hello", 1);
+/// Schema of a coordinator→worker shard frame: the indexed job list one worker runs.
+pub const DIST_SHARD_SCHEMA: Schema = Schema::new("dist-shard", 1);
+/// Schema of a worker→coordinator per-cell result frame (wraps the
+/// [`RESULT_RECORD_SCHEMA`] envelope for successful cells).
+pub const DIST_RESULT_SCHEMA: Schema = Schema::new("dist-result", 1);
+/// Schema of a worker's end-of-shard frame.
+pub const DIST_DONE_SCHEMA: Schema = Schema::new("dist-done", 1);
 
 impl Schema {
     /// A schema constant.
@@ -356,7 +365,7 @@ impl BenchReport {
 
 /// Serialises a `u64` losslessly: a plain number inside f64's exact integer range, a hex
 /// string beyond it.
-fn u64_json(v: u64) -> Json {
+pub(crate) fn u64_json(v: u64) -> Json {
     if v < (1u64 << 53) {
         Json::num(v as f64)
     } else {
@@ -365,7 +374,7 @@ fn u64_json(v: u64) -> Json {
 }
 
 /// Reads a `u64` written by [`u64_json`] (plain integral number or hex string).
-fn u64_value(j: &Json) -> Option<u64> {
+pub(crate) fn u64_value(j: &Json) -> Option<u64> {
     if let Some(v) = j.as_hex_u64() {
         return Some(v);
     }

@@ -159,17 +159,22 @@ impl StoreHandle {
         if !self.policy.reads() {
             return None;
         }
-        let payload = self.lock().get(record_key(job)).unwrap_or_else(|e| {
+        let key = record_key(job);
+        let payload = self.lock().get(key).unwrap_or_else(|e| {
             panic!(
-                "result store {}: lookup for cell '{}' failed: {e}",
+                "result store {}: lookup for cell '{}' (record {:016x}.{:016x}) failed: {e}",
                 self.dir.display(),
-                job.label()
+                job.label(),
+                key.identity,
+                key.variant
             )
         })?;
         let output = Self::decode(&payload).unwrap_or_else(|e| {
             panic!(
-                "result store {}: record for cell '{}' does not decode: {e}",
+                "result store {}: record {:016x}.{:016x} for cell '{}' does not decode: {e}",
                 self.dir.display(),
+                key.identity,
+                key.variant,
                 job.label()
             )
         });
@@ -187,15 +192,16 @@ impl StoreHandle {
             return;
         }
         let payload = Self::encode(job, output);
-        self.lock()
-            .put(record_key(job), &payload)
-            .unwrap_or_else(|e| {
-                panic!(
-                    "result store {}: persisting cell '{}' failed: {e}",
-                    self.dir.display(),
-                    job.label()
-                )
-            });
+        let key = record_key(job);
+        self.lock().put(key, &payload).unwrap_or_else(|e| {
+            panic!(
+                "result store {}: persisting cell '{}' (record {:016x}.{:016x}) failed: {e}",
+                self.dir.display(),
+                job.label(),
+                key.identity,
+                key.variant
+            )
+        });
     }
 }
 

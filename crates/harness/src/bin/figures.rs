@@ -21,6 +21,8 @@
 //! windowed-telemetry study (per-cell time series + learning-curve table). `--store DIR`
 //! attaches the persistent result store: finished cells are cached and a warm re-run with
 //! the same options simulates nothing while producing byte-identical tables.
+//! `--workers N` distributes every batch across N spawned worker processes (this same
+//! binary in `--worker` mode) with tables still byte-identical to the in-process run.
 
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -37,7 +39,7 @@ use athena_engine::{
 use athena_harness::cli::{fail, fail_env, FIGURES_HELP as HELP};
 use athena_harness::experiments::{experiment_names, run_experiment};
 use athena_harness::timeline::timeline_study;
-use athena_harness::{RunOptions, StoreHandle, StorePolicy};
+use athena_harness::{DistPool, RunOptions, StoreHandle, StorePolicy, WorkerCommand};
 use athena_telemetry::DEFAULT_WINDOW_INSTRUCTIONS;
 
 struct Args {
@@ -82,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
     let mut events: Option<PathBuf> = None;
     let mut progress = false;
     let mut profile = false;
+    let mut workers: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -151,6 +154,24 @@ fn parse_args() -> Result<Args, String> {
             }
             "--progress" => progress = true,
             "--profile" => profile = true,
+            "--workers" => {
+                let n: usize = args
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+                workers = Some(n);
+            }
+            "--worker" => {
+                return Err(
+                    "--worker must be the sole argument (it is how a coordinator invokes \
+                     its worker processes, not a run option)"
+                        .to_string(),
+                )
+            }
             "--out" => out_dir = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
             "--list" => {
                 for n in experiment_names() {
@@ -209,6 +230,20 @@ fn parse_args() -> Result<Args, String> {
                 .to_string(),
         );
     }
+    if workers.is_some() && profile {
+        return Err(
+            "--profile needs in-process cells (a worker's phase profile does not cross \
+             the process boundary) — drop --workers"
+                .to_string(),
+        );
+    }
+    if workers.is_some() && bench_report {
+        return Err(
+            "--bench-report times the in-process pool against the serial path; a \
+             distributed run is a different measurement — drop --workers"
+                .to_string(),
+        );
+    }
     if all {
         figs = experiment_names().iter().map(|s| s.to_string()).collect();
     }
@@ -257,6 +292,12 @@ fn parse_args() -> Result<Args, String> {
         );
     }
     opts.progress = progress;
+    if let Some(n) = workers {
+        // A coordinator that cannot locate its own binary cannot spawn workers — an
+        // environment failure, not a usage error.
+        let command = WorkerCommand::self_worker().unwrap_or_else(|e| fail_env(e));
+        opts.dist = Some(DistPool::new(command, n));
+    }
     Ok(Args {
         figs,
         opts,
@@ -536,6 +577,13 @@ fn write_profile_report(args: &Args, mut cells: Vec<ProfiledCell>) {
 }
 
 fn main() {
+    // Worker mode: serve shards from a coordinator (`figures --workers N` spawns this
+    // same binary with `--worker`) over stdin/stdout until the coordinator closes the
+    // pipe. Nothing else — no flags, no tables.
+    if std::env::args().nth(1).as_deref() == Some("--worker") && std::env::args().count() == 2 {
+        athena_engine::dist::serve();
+        return;
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => fail(e),

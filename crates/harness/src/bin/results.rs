@@ -148,8 +148,18 @@ struct Envelope {
 
 /// Parses a record envelope, failing loudly on any malformed payload.
 fn envelope(key: RecordKey, payload: &[u8]) -> Result<Envelope, String> {
-    let text = std::str::from_utf8(payload).map_err(|e| format!("payload is not UTF-8: {e}"))?;
-    let doc = Json::parse(text).map_err(|e| format!("payload is not JSON: {e}"))?;
+    let text = std::str::from_utf8(payload).map_err(|e| {
+        format!(
+            "record {:016x}.{:016x}: payload is not UTF-8: {e}",
+            key.identity, key.variant
+        )
+    })?;
+    let doc = Json::parse(text).map_err(|e| {
+        format!(
+            "record {:016x}.{:016x}: payload is not JSON: {e}",
+            key.identity, key.variant
+        )
+    })?;
     let field = |name: &str| -> Result<String, String> {
         doc.get(name)
             .and_then(Json::as_str)
@@ -270,9 +280,14 @@ fn run_diff(args: &Args) {
     let mut a = a_handle.lock();
     let mut b = b_handle.lock();
     let fetch = |store: &mut athena_engine::ResultStore, dir: &std::path::Path, key: RecordKey| {
-        store
-            .get(key)
-            .unwrap_or_else(|e| fail_env(format!("result store {}: {e}", dir.display())))
+        store.get(key).unwrap_or_else(|e| {
+            fail_env(format!(
+                "result store {}: record {:016x}.{:016x}: {e}",
+                dir.display(),
+                key.identity,
+                key.variant
+            ))
+        })
     };
     let mut only_a = Vec::new();
     let mut only_b = Vec::new();

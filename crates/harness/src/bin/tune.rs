@@ -25,7 +25,7 @@ use athena_engine::report::TUNE_BENCH_SCHEMA;
 use athena_engine::{available_parallelism, with_recording};
 use athena_harness::cli::{fail, fail_env, TUNE_HELP as HELP};
 use athena_harness::experiments::tuning_set;
-use athena_harness::{ProbeSink, RunOptions, StoreHandle, StorePolicy};
+use athena_harness::{DistPool, ProbeSink, RunOptions, StoreHandle, StorePolicy, WorkerCommand};
 use athena_tune::{tune, DesignSpace, Leaderboard, Objective, TuneOptions, TuneStrategy};
 
 struct Args {
@@ -62,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
     let mut store_policy: Option<String> = None;
     let mut events: Option<PathBuf> = None;
     let mut progress = false;
+    let mut workers: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -131,6 +132,22 @@ fn parse_args() -> Result<Args, String> {
             }
             "--events" => events = Some(PathBuf::from(value("--events")?)),
             "--progress" => progress = true,
+            "--workers" => {
+                let n: usize = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+                workers = Some(n);
+            }
+            "--worker" => {
+                return Err(
+                    "--worker must be the sole argument (it is how a coordinator invokes \
+                     its worker processes, not a run option)"
+                        .to_string(),
+                )
+            }
             "--store" => store_dir = Some(PathBuf::from(value("--store")?)),
             "--store-policy" => store_policy = Some(value("--store-policy")?),
             "--out" => out_dir = Some(PathBuf::from(value("--out")?)),
@@ -155,6 +172,13 @@ fn parse_args() -> Result<Args, String> {
         return Err(
             "--bench-report measures search wall-clock; a result store would serve \
              cached cells and corrupt the timings — drop --store"
+                .to_string(),
+        );
+    }
+    if workers.is_some() && bench_report {
+        return Err(
+            "--bench-report times the in-process pool against the serial path; a \
+             distributed run is a different measurement — drop --workers"
                 .to_string(),
         );
     }
@@ -223,6 +247,12 @@ fn parse_args() -> Result<Args, String> {
     }
     run.progress = progress;
     tune_opts = tune_opts.with_progress(progress);
+    if let Some(n) = workers {
+        let command = WorkerCommand::self_worker().unwrap_or_else(|e| fail_env(e));
+        let pool = DistPool::new(command, n);
+        run.dist = Some(pool.clone());
+        tune_opts = tune_opts.with_dist(pool);
+    }
     Ok(Args {
         space,
         strategy,
@@ -360,6 +390,12 @@ fn run_bench_report(args: &Args, board: &Leaderboard, parallel_wall: std::time::
 }
 
 fn main() {
+    // Worker mode: serve shards from a coordinator (`tune --workers N` spawns this same
+    // binary with `--worker`) over stdin/stdout until the coordinator closes the pipe.
+    if std::env::args().nth(1).as_deref() == Some("--worker") && std::env::args().count() == 2 {
+        athena_engine::dist::serve();
+        return;
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => fail(e),

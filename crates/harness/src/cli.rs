@@ -43,6 +43,16 @@ run options:
   --workloads <N>     cap the workload count, keeping a balanced friendly/adverse mix
   --jobs <N>          engine worker count (default: every hardware thread); --jobs 1 is
                       the exact serial path; tables are byte-identical at any value
+  --workers <N>       distribute simulation across N spawned worker processes (each one
+                      is this binary re-invoked as `figures --worker`): the coordinator
+                      shards every engine batch over length-delimited checksummed
+                      frames, retries cells whose worker dies, and merges results in
+                      submission order, so tables are byte-identical at any worker
+                      count and under worker failure. The store, event log and merge
+                      stay on the coordinator. Incompatible with --profile and
+                      --bench-report
+  --worker            internal: run as a worker process serving shards on stdin/stdout;
+                      spawned by a `--workers` coordinator, never useful by hand
   --trace-dir <DIR>   replay recorded traces from DIR (written by `trace record`):
                       single-core cells with a <workload>.trace file there replay it,
                       reproducing the generated results byte-for-byte; others generate
@@ -184,6 +194,12 @@ run options:
   --workloads <N>      cap the tuning-workload count (min 4)
   --jobs <N>           engine worker count (default: every hardware thread); the
                        leaderboard is byte-identical at any value
+  --workers <N>        distribute evaluation across N spawned worker processes (see
+                       `figures --help` for the protocol); the leaderboard is
+                       byte-identical at any worker count. Incompatible with
+                       --bench-report
+  --worker             internal: run as a worker process serving shards on
+                       stdin/stdout; spawned by a `--workers` coordinator
   --trace-dir <DIR>    replay recorded traces from DIR (record them with
                        `trace record --tuning`); identical leaderboard bytes to the
                        generated run
@@ -342,6 +358,19 @@ mod tests {
         assert!(FIGURES_HELP.contains("profile.folded"));
         assert!(RESULTS_HELP.contains("events"));
         assert!(RESULTS_HELP.contains("results events <FILE> [--json]"));
+    }
+
+    #[test]
+    fn help_texts_document_the_distributed_mode() {
+        for help in [FIGURES_HELP, TUNE_HELP] {
+            assert!(help.contains("--workers <N>"));
+            assert!(help.contains("--worker"));
+            assert!(
+                help.contains("byte-identical at any worker"),
+                "missing claim"
+            );
+        }
+        assert!(FIGURES_HELP.contains("Incompatible with --profile"));
     }
 
     #[test]

@@ -1301,6 +1301,7 @@ mod tests {
             trace_dir: None,
             tuned_config: None,
             store: None,
+            dist: None,
             probe: None,
             progress: false,
         }

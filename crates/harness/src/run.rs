@@ -18,8 +18,8 @@ use std::path::PathBuf;
 use athena_engine::Engine;
 
 pub use athena_engine::{
-    default_athena_config, simulate, simulate_multicore, CoordinatorKind, OcpKind, PrefetcherKind,
-    ProbeSink, RunResult, StoreHandle, StorePolicy, SystemConfig,
+    default_athena_config, simulate, simulate_multicore, CoordinatorKind, DistPool, OcpKind,
+    PrefetcherKind, ProbeSink, RunResult, StoreHandle, StorePolicy, SystemConfig, WorkerCommand,
 };
 
 /// Options controlling run length, parallelism and trace substitution.
@@ -59,6 +59,12 @@ pub struct RunOptions {
     /// jobs, tables are byte-identical with or without a store; a warm store makes the
     /// whole run simulation-free.
     pub store: Option<StoreHandle>,
+    /// Optional distributed worker pool (the `--workers` flag): every engine batch an
+    /// experiment runs executes its store-missing cells on spawned worker processes
+    /// (`athena_engine::dist`) instead of in-process threads. Merge order, the store and
+    /// event emission stay on the coordinator, so tables are byte-identical at any
+    /// worker count.
+    pub dist: Option<DistPool>,
     /// Optional structured event sink (the `--events` flag): every engine batch an
     /// experiment runs emits its lifecycle events through it as JSONL. Observation is not
     /// identity — attaching a sink cannot change a table byte.
@@ -80,6 +86,7 @@ impl RunOptions {
             trace_dir: None,
             tuned_config: None,
             store: None,
+            dist: None,
             probe: None,
             progress: false,
         }
@@ -94,6 +101,7 @@ impl RunOptions {
             trace_dir: None,
             tuned_config: None,
             store: None,
+            dist: None,
             probe: None,
             progress: false,
         }
@@ -126,6 +134,13 @@ impl RunOptions {
         self
     }
 
+    /// Returns a copy whose engine batches run on the given distributed worker pool (see
+    /// [`RunOptions::dist`]).
+    pub fn with_dist(mut self, dist: DistPool) -> Self {
+        self.dist = Some(dist);
+        self
+    }
+
     /// Returns a copy whose engine batches emit lifecycle events through the given sink
     /// (see [`RunOptions::probe`]).
     pub fn with_probe(mut self, probe: ProbeSink) -> Self {
@@ -142,11 +157,13 @@ impl RunOptions {
 }
 
 /// Builds the experiment engine an options set asks for: `opts.jobs` workers, with the
-/// result store and event sink attached when configured. Every experiment batch goes
-/// through here, so the `--store` / `--events` / `--progress` flags reach all of them.
+/// result store, distributed pool and event sink attached when configured. Every
+/// experiment batch goes through here, so the `--store` / `--workers` / `--events` /
+/// `--progress` flags reach all of them.
 pub(crate) fn engine_for(opts: &RunOptions) -> Engine {
     Engine::new(opts.jobs)
         .with_store(opts.store.clone())
+        .with_dist(opts.dist.clone())
         .with_probe(opts.probe.clone())
         .with_progress(opts.progress)
 }

@@ -23,10 +23,11 @@ use std::time::Instant;
 /// (this crate sits below the engine and cannot share the constant directly).
 pub const EVENTS_SCHEMA_ID: &str = "athena-events-v1";
 
-/// The per-line fields that carry wall-clock readings and nothing else. Stripping these
-/// from every line of two logs of the same batch must leave byte-identical documents,
-/// whatever the worker counts were.
-pub const WALL_CLOCK_FIELDS: &[&str] = &["t_ms", "wall_ms"];
+/// The per-line fields that carry wall-clock readings (or equally host-dependent values,
+/// like a worker's OS pid) and nothing else. Stripping these from every line of two logs
+/// of the same batch must leave byte-identical documents, whatever the worker counts
+/// were.
+pub const WALL_CLOCK_FIELDS: &[&str] = &["t_ms", "wall_ms", "pid"];
 
 /// One lifecycle event of an engine batch.
 ///
@@ -106,6 +107,42 @@ pub enum Event {
         /// Size of the written contents in bytes.
         bytes: usize,
     },
+    /// A distributed worker process was spawned by the coordinator.
+    WorkerJoined {
+        /// Coordinator-assigned worker id (stable across the batch; respawned workers
+        /// get fresh ids).
+        worker: usize,
+        /// The worker's OS process id (a wall-clock-like value: real but not
+        /// deterministic — comparisons should treat it like a timestamp).
+        pid: u64,
+    },
+    /// A shard of cells was sent to a distributed worker.
+    ShardDispatched {
+        /// The receiving worker's id.
+        worker: usize,
+        /// Number of cells in the shard.
+        cells: usize,
+    },
+    /// A distributed worker died (EOF or truncated frame) with cells unanswered.
+    WorkerDied {
+        /// The dead worker's id.
+        worker: usize,
+        /// Number of cells it still owed.
+        outstanding: usize,
+        /// What the coordinator observed on the stream.
+        error: String,
+    },
+    /// A cell lost to a worker death was reassigned to a replacement worker.
+    CellReassigned {
+        /// The cell's experiment.
+        experiment: String,
+        /// The cell's label.
+        label: String,
+        /// Worker that died owning the cell.
+        from_worker: usize,
+        /// Replacement worker now owning the cell.
+        to_worker: usize,
+    },
 }
 
 impl Event {
@@ -121,6 +158,10 @@ impl Event {
             Event::CellPanicked { .. } => "cell_panicked",
             Event::StorePersist { .. } => "store_persist",
             Event::ReportWritten { .. } => "report_written",
+            Event::WorkerJoined { .. } => "worker_joined",
+            Event::ShardDispatched { .. } => "shard_dispatched",
+            Event::WorkerDied { .. } => "worker_died",
+            Event::CellReassigned { .. } => "cell_reassigned",
         }
     }
 
@@ -181,6 +222,33 @@ impl Event {
             Event::ReportWritten { path, bytes } => {
                 str_field("path", path);
                 let _ = write!(line, ",\"bytes\":{bytes}");
+            }
+            Event::WorkerJoined { worker, pid } => {
+                let _ = write!(line, ",\"worker\":{worker},\"pid\":{pid}");
+            }
+            Event::ShardDispatched { worker, cells } => {
+                let _ = write!(line, ",\"worker\":{worker},\"cells\":{cells}");
+            }
+            Event::WorkerDied {
+                worker,
+                outstanding,
+                error,
+            } => {
+                str_field("error", error);
+                let _ = write!(line, ",\"worker\":{worker},\"outstanding\":{outstanding}");
+            }
+            Event::CellReassigned {
+                experiment,
+                label,
+                from_worker,
+                to_worker,
+            } => {
+                str_field("experiment", experiment);
+                str_field("label", label);
+                let _ = write!(
+                    line,
+                    ",\"from_worker\":{from_worker},\"to_worker\":{to_worker}"
+                );
             }
         }
     }

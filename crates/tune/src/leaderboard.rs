@@ -4,9 +4,9 @@
 use athena_core::AthenaConfig;
 use athena_engine::json::Json;
 
-use crate::config_io::config_to_json;
 use crate::objective::Objective;
 use crate::search::Rung;
+use athena_engine::wire::config_to_json;
 
 /// One candidate's final standing.
 #[derive(Debug, Clone, PartialEq)]
@@ -174,7 +174,7 @@ impl Leaderboard {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config_io::config_from_json;
+    use athena_engine::wire::config_from_json;
 
     fn board() -> Leaderboard {
         let entry = |id: usize, rung: usize, objective: f64| CandidateResult {

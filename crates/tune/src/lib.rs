@@ -42,13 +42,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod config_io;
 mod leaderboard;
 mod objective;
 mod search;
 mod space;
 
-pub use config_io::{config_from_json, config_to_json, load_config};
+// The config ↔ JSON round trip lives in the engine's wire module now (the distributed
+// protocol serialises whole jobs, configs included); re-exported here so tuner consumers
+// keep their import paths.
+pub use athena_engine::wire::{config_from_json, config_to_json, load_config};
 pub use leaderboard::{CandidateResult, Leaderboard};
 pub use objective::{geomean, Objective};
 pub use search::{

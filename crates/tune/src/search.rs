@@ -19,8 +19,8 @@
 use std::path::PathBuf;
 
 use athena_engine::{
-    CellResult, CoordinatorKind, Engine, Job, OcpKind, PrefetcherKind, ProbeSink, RunResult,
-    StoreHandle, SystemConfig,
+    CellResult, CoordinatorKind, DistPool, Engine, Job, OcpKind, PrefetcherKind, ProbeSink,
+    RunResult, StoreHandle, SystemConfig,
 };
 use athena_workloads::WorkloadSpec;
 use rand::rngs::StdRng;
@@ -63,6 +63,10 @@ pub struct TuneOptions {
     /// so a search re-entered over a widened space (or after a kill) re-simulates only
     /// the (candidate × workload × budget) cells the store has not seen.
     pub store: Option<StoreHandle>,
+    /// Optional distributed worker pool: evaluation batches run their cells on spawned
+    /// worker processes ([`athena_engine::dist`]) instead of in-process threads. Merge
+    /// order is unchanged, so leaderboards stay byte-identical at any worker count.
+    pub dist: Option<DistPool>,
     /// Optional structured event sink: evaluation batches emit their lifecycle events
     /// through it as JSONL. Observation is not identity — attaching a sink cannot change
     /// a leaderboard byte.
@@ -83,6 +87,7 @@ impl TuneOptions {
             seed: DEFAULT_TUNE_SEED,
             config: SystemConfig::cd1(PrefetcherKind::Pythia, OcpKind::Popet),
             store: None,
+            dist: None,
             probe: None,
             progress: false,
         }
@@ -116,6 +121,13 @@ impl TuneOptions {
     /// [`TuneOptions::store`]).
     pub fn with_store(mut self, store: StoreHandle) -> Self {
         self.store = Some(store);
+        self
+    }
+
+    /// Returns a copy whose evaluation batches run on the given distributed worker pool
+    /// (see [`TuneOptions::dist`]).
+    pub fn with_dist(mut self, dist: DistPool) -> Self {
+        self.dist = Some(dist);
         self
     }
 
@@ -318,6 +330,7 @@ pub fn tune(
 
     let engine = Engine::new(opts.jobs)
         .with_store(opts.store.clone())
+        .with_dist(opts.dist.clone())
         .with_probe(opts.probe.clone())
         .with_progress(opts.progress);
     let mut survivors: Vec<usize> = (0..entries.len()).collect();

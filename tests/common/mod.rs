@@ -1,0 +1,82 @@
+//! Shared helpers for the cross-process integration tests (`dist_determinism`,
+//! `dist_faults`, the `results` CLI regression tests).
+//!
+//! Integration tests run from `target/<profile>/deps/<test>-<hash>`; the harness binaries
+//! (`figures`, `tune`, `trace`, `results`) live one directory up, because `cargo test`
+//! builds every bin target of the workspace before running any test. No `CARGO_BIN_EXE_*`
+//! env var exists here — those are only set for integration tests of the package that owns
+//! the binary, and these suites belong to the umbrella crate.
+
+#![allow(dead_code)] // each test binary uses a different subset of these helpers
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// Locates a harness binary next to the test executable, falling back to the sibling
+/// `release` profile directory (so the suite also passes after `cargo build --release`
+/// when the debug binaries are stale or absent).
+pub fn harness_bin(name: &str) -> PathBuf {
+    let exe = std::env::current_exe().expect("test executable path");
+    let profile_dir = exe
+        .parent() // target/<profile>/deps
+        .and_then(|d| d.parent()) // target/<profile>
+        .expect("test executable lives in target/<profile>/deps");
+    let candidate = profile_dir.join(name);
+    if candidate.is_file() {
+        return candidate;
+    }
+    for sibling in ["release", "debug"] {
+        let alt = profile_dir
+            .parent()
+            .map(|t| t.join(sibling).join(name))
+            .filter(|p| p.is_file());
+        if let Some(alt) = alt {
+            return alt;
+        }
+    }
+    panic!(
+        "cannot find the '{name}' binary near {}: run `cargo build --workspace` first",
+        profile_dir.display()
+    );
+}
+
+/// Runs a harness binary with the given arguments and environment overrides, capturing
+/// stdout/stderr. Panics only if the process cannot be spawned at all — callers assert on
+/// the exit status themselves, because several tests expect failure.
+pub fn run_bin(name: &str, args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let bin = harness_bin(name);
+    let mut cmd = Command::new(&bin);
+    cmd.args(args);
+    for (key, value) in envs {
+        cmd.env(key, value);
+    }
+    cmd.output()
+        .unwrap_or_else(|e| panic!("cannot run {}: {e}", bin.display()))
+}
+
+/// UTF-8 view of a captured stream (the harness binaries only ever print UTF-8).
+pub fn text(stream: &[u8]) -> String {
+    String::from_utf8_lossy(stream).into_owned()
+}
+
+/// Fresh per-test temp directory (removed first if a previous run left it behind).
+pub fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("athena-dist-it-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Asserts that two files have identical bytes, with a readable diff context on failure.
+pub fn assert_same_bytes(a: &std::path::Path, b: &std::path::Path) {
+    let left = std::fs::read(a).unwrap_or_else(|e| panic!("read {}: {e}", a.display()));
+    let right = std::fs::read(b).unwrap_or_else(|e| panic!("read {}: {e}", b.display()));
+    assert!(
+        left == right,
+        "{} and {} differ ({} vs {} bytes)",
+        a.display(),
+        b.display(),
+        left.len(),
+        right.len()
+    );
+}

@@ -195,6 +195,7 @@ fn quick_figure_experiments_produce_consistent_tables() {
         trace_dir: None,
         tuned_config: None,
         store: None,
+        dist: None,
         probe: None,
         progress: false,
     };

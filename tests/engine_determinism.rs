@@ -53,6 +53,7 @@ fn tables_are_byte_identical_across_worker_counts() {
         trace_dir: None,
         tuned_config: None,
         store: None,
+        dist: None,
         probe: None,
         progress: false,
     };

@@ -53,6 +53,7 @@ fn tiny() -> RunOptions {
         trace_dir: None,
         tuned_config: None,
         store: None,
+        dist: None,
         probe: None,
         progress: false,
     }

@@ -15,6 +15,8 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 
+mod common;
+
 use athena_repro::engine::{with_recording, Engine, Job, RecordKey, StoreHandle};
 use athena_repro::harness::experiments::{run_experiment, tuning_set};
 use athena_repro::prelude::*;
@@ -34,6 +36,7 @@ fn opts(limit: usize, store: Option<StoreHandle>) -> RunOptions {
         trace_dir: None,
         tuned_config: None,
         store,
+        dist: None,
         probe: None,
         progress: false,
     }
@@ -228,6 +231,111 @@ fn a_corrupt_record_fails_the_batch_loudly_instead_of_being_recomputed_over() {
     }));
     assert!(outcome.is_err(), "a lying cache must panic the batch");
     fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_zero_length_payload_names_the_offending_record_key() {
+    let dir = tmp("zero-len");
+    let job = engine_jobs(1).remove(0);
+    let key = athena_repro::engine::record_key(&job);
+    {
+        let mut store = athena_repro::store::ResultStore::open(&dir, false).unwrap();
+        store.put(key, b"").unwrap();
+        store.flush().unwrap();
+    }
+
+    let handle = StoreHandle::open(&dir, StorePolicy::ReadOnly).unwrap();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle.fetch(&job)));
+    let message = match outcome {
+        Err(payload) => payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string panic>".into()),
+        Ok(_) => panic!("fetching a zero-length record must fail, not decode"),
+    };
+    let named = format!("{:016x}.{:016x}", key.identity, key.variant);
+    assert!(
+        message.contains(&named),
+        "the error must name the offending record key {named}: {message}"
+    );
+    assert!(
+        message.contains(&job.label()),
+        "the error must name the cell: {message}"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn the_results_cli_names_the_offending_key_on_malformed_records() {
+    // `results query` on a store holding a zero-length payload: the envelope cannot
+    // parse, and the error must say which record is broken.
+    let q_dir = tmp("cli-zero-len");
+    let key = RecordKey {
+        identity: 0xabc,
+        variant: 0xd,
+    };
+    {
+        let mut store = athena_repro::store::ResultStore::open(&q_dir, false).unwrap();
+        store.put(key, b"").unwrap();
+        store.flush().unwrap();
+    }
+    let out = common::run_bin(
+        "results",
+        &["query", "--store", q_dir.to_str().unwrap()],
+        &[],
+    );
+    let stderr = common::text(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stderr: {stderr}");
+    assert!(
+        stderr.contains("0000000000000abc.000000000000000d"),
+        "query error must name the record key: {stderr}"
+    );
+
+    // `results diff --against` where the second store's record fails its checksum: the
+    // fetch error must also say which key it was reading.
+    let a_dir = tmp("cli-diff-a");
+    fixture(&a_dir);
+    let b_dir = tmp("cli-diff-b");
+    fs::create_dir_all(&b_dir).unwrap();
+    for name in [LOG_FILE, INDEX_FILE] {
+        fs::copy(a_dir.join(name), b_dir.join(name)).unwrap();
+    }
+    let log = b_dir.join(LOG_FILE);
+    let mut bytes = fs::read(&log).unwrap();
+    let at = bytes.len() - 10;
+    bytes[at] ^= 0x01;
+    fs::write(&log, &bytes).unwrap();
+
+    let out = common::run_bin(
+        "results",
+        &[
+            "diff",
+            "--store",
+            a_dir.to_str().unwrap(),
+            "--against",
+            b_dir.to_str().unwrap(),
+        ],
+        &[],
+    );
+    let stderr = common::text(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stderr: {stderr}");
+    let named = stderr
+        .split("record ")
+        .nth(1)
+        .map(|rest| rest.chars().take(33).collect::<String>())
+        .unwrap_or_default();
+    assert!(
+        named.len() == 33
+            && named.as_bytes()[16] == b'.'
+            && named
+                .chars()
+                .enumerate()
+                .all(|(i, c)| i == 16 || c.is_ascii_hexdigit()),
+        "diff error must name the offending record key, got: {stderr}"
+    );
+    for dir in [q_dir, a_dir, b_dir] {
+        fs::remove_dir_all(&dir).unwrap();
+    }
 }
 
 /// Builds a small store fixture directly (no simulation) and returns its payloads.

@@ -23,6 +23,7 @@ fn opts(jobs: usize) -> RunOptions {
         trace_dir: None,
         tuned_config: None,
         store: None,
+        dist: None,
         probe: None,
         progress: false,
     }

@@ -29,6 +29,7 @@ fn run_opts(jobs: usize) -> RunOptions {
         trace_dir: None,
         tuned_config: None,
         store: None,
+        dist: None,
         probe: None,
         progress: false,
     }

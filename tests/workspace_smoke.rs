@@ -29,6 +29,7 @@ fn prelude_reexports_are_usable() {
         trace_dir: None,
         tuned_config: None,
         store: None,
+        dist: None,
         probe: None,
         progress: false,
     };
