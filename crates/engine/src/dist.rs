@@ -20,9 +20,15 @@
 //! (`athena-dist-*-v1`); the checksum is the same FNV-1a 64 the result store uses
 //! ([`athena_store::fnv64`]). The conversation is strictly: worker sends `HELLO`;
 //! coordinator sends one `SHARD` (an indexed job list, jobs serialised by
-//! [`crate::wire::job_json`]); worker answers one `RESULT` per cell — successful cells
-//! wrapped in the self-describing `athena-result-record-v1` envelope the result store
-//! writes — then `DONE`; coordinator closes the worker's stdin and the worker exits.
+//! [`crate::wire::job_json`], plus the coordinator's profiling switch); worker answers
+//! one `EVENT` frame (the cell's buffered probe lines and, when profiling, its phase
+//! profile — `athena-dist-event-v1`) followed by one `RESULT` per cell — successful
+//! cells wrapped in the self-describing `athena-result-record-v1` envelope the result
+//! store writes — then `DONE`; coordinator closes the worker's stdin and the worker
+//! exits. `EVENT` frames are observability only: the coordinator parks them per cell and
+//! replays them into the `--events` log at the cell's deterministic merge point, so
+//! observation never feeds back into results. A dead worker's parked events are
+//! discarded with it — a partial shard never leaks half-true lines into the log.
 //!
 //! # Failure discipline
 //!
@@ -45,24 +51,24 @@
 //! `worker_joined`, `shard_dispatched`, `worker_died`, `cell_reassigned`) so a
 //! distributed run is observable after the fact.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{self, Read, Write};
 use std::path::PathBuf;
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
-use athena_probe::{Event, ProbeSink};
+use athena_probe::{metrics, CellOrigin, Event, Phase, PhaseProfile, ProbeSink};
 use athena_store::fnv64;
 
 use crate::job::{Job, JobOutput};
 use crate::json::Json;
 use crate::report::{
-    u64_json, u64_value, DIST_DONE_SCHEMA, DIST_HELLO_SCHEMA, DIST_RESULT_SCHEMA,
-    DIST_SHARD_SCHEMA, RESULT_RECORD_SCHEMA,
+    phase_profile_from_json, u64_json, u64_value, DIST_DONE_SCHEMA, DIST_HELLO_SCHEMA,
+    DIST_RESULT_SCHEMA, DIST_SHARD_SCHEMA, EVENTS_SCHEMA, RESULT_RECORD_SCHEMA,
 };
 use crate::store::{record_key, StoreHandle};
-use crate::wire::{job_from_json, job_json};
+use crate::wire::{dist_event_from_json, dist_event_payload, job_from_json, job_json};
 
 /// Maximum attempts per cell before a repeatedly dying assignment fails the batch.
 pub const MAX_ATTEMPTS: u32 = 3;
@@ -80,6 +86,11 @@ const KIND_HELLO: u8 = 1;
 const KIND_SHARD: u8 = 2;
 const KIND_RESULT: u8 = 3;
 const KIND_DONE: u8 = 4;
+const KIND_EVENT: u8 = 5;
+
+/// Bytes of a frame's fixed header (`kind` + `len` + checksum), counted by the
+/// frame-byte metrics alongside the payload.
+const FRAME_HEADER_BYTES: u64 = 1 + 4 + 8;
 
 // ---------------------------------------------------------------------------------------
 // Frame codec.
@@ -90,7 +101,12 @@ fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> io::Result<()> {
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(&fnv64(payload).to_le_bytes())?;
     w.write_all(payload)?;
-    w.flush()
+    w.flush()?;
+    metrics().frames_sent.incr();
+    metrics()
+        .frame_bytes_sent
+        .add(FRAME_HEADER_BYTES + payload.len() as u64);
+    Ok(())
 }
 
 /// Reads one frame. `Ok(None)` is a clean EOF at a frame boundary; an EOF *inside* a
@@ -102,7 +118,7 @@ fn read_frame(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
     if r.read(&mut kind)? == 0 {
         return Ok(None);
     }
-    if !(KIND_HELLO..=KIND_DONE).contains(&kind[0]) {
+    if !(KIND_HELLO..=KIND_EVENT).contains(&kind[0]) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("unknown frame kind {}", kind[0]),
@@ -129,6 +145,10 @@ fn read_frame(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
             format!("frame checksum mismatch: header says {checksum:#018x}, payload hashes to {actual:#018x}"),
         ));
     }
+    metrics().frames_received.incr();
+    metrics()
+        .frame_bytes_received
+        .add(FRAME_HEADER_BYTES + len as u64);
     Ok(Some((kind[0], payload)))
 }
 
@@ -204,9 +224,12 @@ impl DistPool {
         &self.command
     }
 
-    /// Runs every job on the worker processes and returns one outcome per job, in
-    /// submission order: `Ok((output, worker-measured wall clock))` for completed cells,
-    /// `Err(message)` for cells that panicked on a worker.
+    /// Runs every job on the worker processes and returns one [`RemoteCell`] per job, in
+    /// submission order: the cell's outcome (`Ok((output, worker-measured wall clock))`,
+    /// or `Err(message)` for a cell that panicked on a worker) together with its
+    /// observability sidecar — the worker it ran on, the probe event lines the worker
+    /// forwarded, and its phase profile when profiling is on. With `progress`, a live
+    /// per-worker status line is kept on stderr.
     ///
     /// # Panics
     ///
@@ -216,27 +239,70 @@ impl DistPool {
     pub fn run_jobs(
         &self,
         probe: Option<&ProbeSink>,
+        progress: bool,
         jobs: &[Job],
-    ) -> Vec<Result<(JobOutput, Duration), String>> {
+    ) -> Vec<RemoteCell> {
         if jobs.is_empty() {
             return Vec::new();
         }
         let mut batch = Batch {
             pool: self,
             probe,
+            progress,
             jobs,
             outcomes: vec![None; jobs.len()],
+            forwarded: (0..jobs.len()).map(|_| None).collect(),
             filled: 0,
             attempts: vec![0u32; jobs.len()],
             workers: Vec::new(),
+            completed: BTreeMap::new(),
+            reassigned: 0,
+            started: Instant::now(),
         };
         batch.run();
+        let forwarded = std::mem::take(&mut batch.forwarded);
         batch
             .outcomes
             .drain(..)
-            .map(|slot| slot.expect("every cell resolved"))
+            .zip(forwarded)
+            .map(|(slot, events)| {
+                let (origin, profile, events) = match events {
+                    Some(f) => (Some(f.origin), f.profile, f.lines),
+                    None => (None, None, Vec::new()),
+                };
+                RemoteCell {
+                    outcome: slot.expect("every cell resolved"),
+                    origin,
+                    profile,
+                    events,
+                }
+            })
             .collect()
     }
+}
+
+/// One cell's result and observability sidecar as returned by [`DistPool::run_jobs`].
+#[derive(Debug, Clone)]
+pub struct RemoteCell {
+    /// The cell's outcome: output plus worker-measured wall clock, or the panic message.
+    pub outcome: Result<(JobOutput, Duration), String>,
+    /// The worker that produced the merged answer (`None` only if the worker forwarded
+    /// no events — a pre-EVENT-frame worker binary).
+    pub origin: Option<CellOrigin>,
+    /// The cell's phase profile, parsed from the forwarded `cell_finished` event when
+    /// profiling is on.
+    pub profile: Option<PhaseProfile>,
+    /// The cell's forwarded probe event lines, rendered deterministic fragments ready
+    /// for [`ProbeSink::emit_rendered`] — worker attribution appended, `t_ms` stripped
+    /// (the coordinator's sink restamps it at merge).
+    pub events: Vec<String>,
+}
+
+/// A worker's buffered observability for one cell, parked until that cell merges.
+struct ForwardedCell {
+    origin: CellOrigin,
+    profile: Option<PhaseProfile>,
+    lines: Vec<String>,
 }
 
 // ---------------------------------------------------------------------------------------
@@ -275,11 +341,21 @@ struct Worker {
 struct Batch<'a> {
     pool: &'a DistPool,
     probe: Option<&'a ProbeSink>,
+    progress: bool,
     jobs: &'a [Job],
     outcomes: Vec<Option<Result<(JobOutput, Duration), String>>>,
+    /// Per-cell observability forwarded over `EVENT` frames, parked here until the
+    /// cell's `RESULT` merges (and discarded if its worker dies first — a dead worker's
+    /// partial events never reach the log).
+    forwarded: Vec<Option<ForwardedCell>>,
     filled: usize,
     attempts: Vec<u32>,
     workers: Vec<Worker>,
+    /// Cells completed per worker id, for the `--progress` breakdown.
+    completed: BTreeMap<usize, usize>,
+    /// Cells re-dispatched after worker deaths.
+    reassigned: usize,
+    started: Instant,
 }
 
 impl Drop for Batch<'_> {
@@ -328,6 +404,7 @@ impl Batch<'_> {
                 .expect("message from a known worker");
             match msg.body {
                 MsgBody::Frame(KIND_HELLO, payload) => self.check_hello(msg.worker, &payload),
+                MsgBody::Frame(KIND_EVENT, payload) => self.buffer_events(slot, &payload),
                 MsgBody::Frame(KIND_RESULT, payload) => self.merge_result(slot, &payload),
                 MsgBody::Frame(KIND_DONE, _) => {
                     self.workers[slot].finished = true;
@@ -355,7 +432,12 @@ impl Batch<'_> {
                         outstanding: unfinished.len(),
                         error: detail.clone(),
                     });
+                    self.reassigned += unfinished.len();
+                    metrics().cell_retries.add(unfinished.len() as u64);
                     for &i in &unfinished {
+                        // The dead worker's partial events must not outlive it: the
+                        // replacement worker re-runs the cell and re-forwards.
+                        self.forwarded[i] = None;
                         self.attempts[i] += 1;
                         assert!(
                             self.attempts[i] < MAX_ATTEMPTS,
@@ -415,6 +497,7 @@ impl Batch<'_> {
         self.emit(&Event::ShardDispatched {
             worker: id,
             cells: cells.len(),
+            bytes: payload.len(),
         });
         let reader_tx = tx.clone();
         std::thread::spawn(move || {
@@ -461,6 +544,105 @@ impl Batch<'_> {
                 DIST_HELLO_SCHEMA.id()
             );
         }
+    }
+
+    /// Verifies and parks one `EVENT` frame: the probe lines a worker's cell emitted,
+    /// forwarded ahead of that cell's `RESULT`. The lines are validated (schema, kind,
+    /// cell identity — a checksum-valid frame whose content lies is corruption and
+    /// panics), rewritten from worker-local lines into deterministic fragments carrying
+    /// the worker's identity, and buffered until the cell merges.
+    fn buffer_events(&mut self, slot: usize, payload: &[u8]) {
+        let worker = self.workers[slot].id;
+        let doc = parse_payload(worker, payload);
+        let event = dist_event_from_json(&doc).unwrap_or_else(|e| {
+            panic!("distributed worker #{worker}: bad event frame: {e} — refusing to merge")
+        });
+        let index = event.index;
+        assert!(
+            self.workers[slot].outstanding.contains(&index),
+            "distributed worker #{worker} sent events for cell {index}, which it does not own"
+        );
+        let job = &self.jobs[index];
+        let label = job.label();
+        let mut profile = None;
+        let mut lines = Vec::with_capacity(event.lines.len());
+        for line in &event.lines {
+            let parsed = Json::parse(line).unwrap_or_else(|e| {
+                panic!(
+                    "distributed worker #{worker}: forwarded event line for cell {index} is \
+                     not JSON: {e}"
+                )
+            });
+            assert!(
+                EVENTS_SCHEMA.matches(&parsed),
+                "distributed worker #{worker}: forwarded event line does not declare \
+                 schema '{}': {line}",
+                EVENTS_SCHEMA.id()
+            );
+            let kind = parsed.get("kind").and_then(Json::as_str).unwrap_or("");
+            assert!(
+                matches!(kind, "cell_started" | "cell_finished" | "cell_panicked"),
+                "distributed worker #{worker}: forwarded a non-cell event '{kind}'"
+            );
+            assert_eq!(
+                parsed.get("label").and_then(Json::as_str),
+                Some(label.as_str()),
+                "distributed worker #{worker}: forwarded an event for the wrong cell \
+                 (frame says index {index} = '{label}'): {line}"
+            );
+            if kind == "cell_finished" {
+                if let Some(p) = parsed.get("profile") {
+                    profile = Some(phase_profile_from_json(p).unwrap_or_else(|e| {
+                        panic!(
+                            "distributed worker #{worker}: cell {index} forwarded an \
+                             undecodable profile: {e}"
+                        )
+                    }));
+                }
+            }
+            // Byte-faithful forwarding: keep the worker's rendering of the deterministic
+            // fields verbatim (re-rendering floats could change bytes), cut the worker-
+            // local `t_ms` tail, and append the attribution fields.
+            let cut = line.rfind(",\"t_ms\":").unwrap_or_else(|| {
+                panic!("distributed worker #{worker}: forwarded event line has no t_ms: {line}")
+            });
+            lines.push(format!(
+                "{},\"worker\":{worker},\"pid\":{}",
+                &line[1..cut],
+                event.pid
+            ));
+        }
+        self.forwarded[index] = Some(ForwardedCell {
+            origin: CellOrigin {
+                worker,
+                pid: event.pid,
+            },
+            profile,
+            lines,
+        });
+    }
+
+    /// Repaints the `--progress` status line with the distributed breakdown: overall
+    /// completion, live workers, cells completed per worker, and reassignment count.
+    fn print_progress(&self) {
+        if !self.progress || self.filled == 0 {
+            return;
+        }
+        let total = self.jobs.len();
+        let done = self.filled;
+        let live = self.workers.iter().filter(|w| !w.finished).count();
+        let per: Vec<String> = self
+            .completed
+            .iter()
+            .map(|(w, c)| format!("w{w}:{c}"))
+            .collect();
+        let eta = self.started.elapsed().as_secs_f64() / done as f64 * (total - done) as f64;
+        eprint!(
+            "\r[{done}/{total} cells on {live} workers ({per}), {reassigned} reassigned, \
+             ~{eta:.0}s left]  ",
+            per = per.join(" "),
+            reassigned = self.reassigned,
+        );
     }
 
     /// Verifies and merges one `RESULT` frame. Every mismatch in here is corruption — a
@@ -535,6 +717,10 @@ impl Batch<'_> {
         );
         self.outcomes[index] = Some(outcome);
         self.filled += 1;
+        metrics().cell_wall_nanos.record(wall.as_nanos() as u64);
+        metrics().record_worker_cell(worker, wall.as_nanos() as u64);
+        *self.completed.entry(worker).or_insert(0) += 1;
+        self.print_progress();
     }
 }
 
@@ -557,7 +743,12 @@ fn shard_payload(jobs: &[Job], cells: &[usize]) -> Vec<u8> {
         })
         .collect();
     DIST_SHARD_SCHEMA
-        .document(vec![("cells", Json::arr(cells))])
+        .document(vec![
+            ("cells", Json::arr(cells)),
+            // The coordinator's profiling switch rides along so workers accrue phase
+            // profiles exactly when an in-process run would.
+            ("profile", Json::Bool(athena_probe::profiling_enabled())),
+        ])
         .to_string()
         .into_bytes()
 }
@@ -645,9 +836,14 @@ pub fn serve() {
     let stdout = io::stdout();
     let mut input = stdin.lock();
     let mut output = io::BufWriter::new(stdout.lock());
-    let hello = DIST_HELLO_SCHEMA.document(vec![("pid", u64_json(std::process::id() as u64))]);
+    let pid = std::process::id() as u64;
+    let hello = DIST_HELLO_SCHEMA.document(vec![("pid", u64_json(pid))]);
     write_frame(&mut output, KIND_HELLO, hello.to_string().as_bytes())
         .expect("worker cannot write its handshake");
+    // Cells run under an in-memory probe sink; each cell's lines are drained into one
+    // EVENT frame sent just before that cell's RESULT, so the coordinator always has a
+    // cell's observability by the time the cell merges.
+    let local_probe = ProbeSink::buffered();
     loop {
         let frame = read_frame(&mut input).unwrap_or_else(|e| {
             panic!("worker: cannot read from the coordinator: {e}");
@@ -667,6 +863,7 @@ pub fn serve() {
             "worker: shard does not declare schema '{}'",
             DIST_SHARD_SCHEMA.id()
         );
+        athena_probe::set_profiling(doc.get("profile").and_then(Json::as_bool).unwrap_or(false));
         let cells = doc
             .get("cells")
             .and_then(Json::as_array)
@@ -678,6 +875,14 @@ pub fn serve() {
                 .expect("worker: shard cell has no index");
             let job = job_from_json(cell.get("job").expect("worker: shard cell has no job"))
                 .unwrap_or_else(|e| panic!("worker: cannot reconstruct cell {index}: {e}"));
+            local_probe.emit(&Event::CellStarted {
+                experiment: job.experiment.clone(),
+                label: job.label(),
+                origin: None,
+            });
+            // Mirror the in-process executor: a fresh cell accrual, wall-clock measured
+            // co-extensively with the `Dispatch` root span.
+            let stashed = athena_probe::swap_cell(PhaseProfile::new());
             let start = Instant::now();
             let faulty = faults
                 .panic_label
@@ -687,10 +892,34 @@ pub fn serve() {
                 if faulty {
                     panic!("injected worker fault: cell panics");
                 }
+                let _span = athena_probe::span(Phase::Dispatch);
                 job.run()
             }))
             .map_err(panic_message);
             let wall = start.elapsed();
+            let profile = athena_probe::swap_cell(stashed);
+            match &outcome {
+                Ok(_) => local_probe.emit(&Event::CellFinished {
+                    experiment: job.experiment.clone(),
+                    label: job.label(),
+                    wall_ms: wall.as_secs_f64() * 1e3,
+                    profile: (!profile.is_empty()).then_some(profile),
+                    origin: None,
+                }),
+                Err(message) => local_probe.emit(&Event::CellPanicked {
+                    experiment: job.experiment.clone(),
+                    label: job.label(),
+                    error: message.clone(),
+                    origin: None,
+                }),
+            }
+            let lines = local_probe.take_lines();
+            write_frame(
+                &mut output,
+                KIND_EVENT,
+                &dist_event_payload(index, pid, &lines),
+            )
+            .expect("worker: cannot write an event frame");
             let mut fields = vec![
                 ("index", u64_json(index)),
                 ("wall_nanos", u64_json(wall.as_nanos() as u64)),

@@ -4,7 +4,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use athena_probe::{Event, Phase, PhaseProfile, ProbeSink};
+use athena_probe::{metrics, CellOrigin, Event, Phase, PhaseProfile, ProbeSink};
 use athena_sim::MultiCoreResult;
 
 use crate::dist::DistPool;
@@ -124,7 +124,12 @@ impl Engine {
         let cached: Vec<Option<JobOutput>> = match &self.store {
             Some(handle) => {
                 let _span = athena_probe::span(Phase::StoreFetch);
-                jobs.iter().map(|job| handle.fetch(job)).collect()
+                let fetch_start = Instant::now();
+                let cached = jobs.iter().map(|job| handle.fetch(job)).collect();
+                metrics()
+                    .store_fetch_nanos
+                    .record(fetch_start.elapsed().as_nanos() as u64);
+                cached
             }
             None => jobs.iter().map(|_| None).collect(),
         };
@@ -163,23 +168,30 @@ impl Engine {
             .collect();
         let total = misses.len();
         let hits = jobs.len() - total;
+        metrics().cells_cached.add(hits as u64);
+        metrics().cells_simulated.add(total as u64);
         let done = AtomicUsize::new(0);
         let batch_start = Instant::now();
         if let Some(pool) = &self.dist {
             // Distributed execution: the misses run on worker processes; everything
             // around them (store, events, merge, recording) is the same code path below.
-            let remote = pool.run_jobs(self.probe.as_ref(), &misses);
+            // Workers measure each cell's wall-clock and forward their probe events and
+            // phase profiles over the wire; the coordinator replays the forwarded lines
+            // at the same deterministic merge points an in-process run would use.
+            let remote = pool.run_jobs(self.probe.as_ref(), self.progress, &misses);
+            if self.progress && !remote.is_empty() {
+                eprintln!();
+            }
+            let mut forwarded = Vec::with_capacity(remote.len());
             let outcomes = remote
                 .into_iter()
-                .map(|outcome| {
-                    outcome.map(|(output, wall)| {
-                        // Workers measure the cell's wall-clock; profiles stay local-only
-                        // (a worker's phase accrual does not cross the pipe).
-                        ((output, wall, None), wall)
-                    })
+                .map(|cell| {
+                    forwarded.push((cell.origin, cell.events));
+                    cell.outcome
+                        .map(|(output, wall)| ((output, wall, cell.profile), wall))
                 })
                 .collect();
-            return self.merge(jobs, cached, misses, outcomes);
+            return self.merge(jobs, cached, misses, outcomes, forwarded);
         }
         let outcomes = parallel_map(self.jobs, &misses, |job| {
             // Stash the calling thread's accrual so the serial (`jobs == 1`) path does
@@ -196,6 +208,7 @@ impl Engine {
                 job.run()
             };
             let wall = cell_start.elapsed();
+            metrics().cell_wall_nanos.record(wall.as_nanos() as u64);
             let profile = athena_probe::swap_cell(stashed);
             if self.progress {
                 let n = done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -208,45 +221,65 @@ impl Engine {
         if self.progress && total > 0 {
             eprintln!();
         }
-        self.merge(jobs, cached, misses, outcomes)
+        self.merge(jobs, cached, misses, outcomes, Vec::new())
     }
 
     /// The shared tail of [`Engine::run`] for both executors: persist newly simulated
     /// successes, merge outcomes back into submission order, emit per-cell events and
     /// forward the batch to any active recording scope.
+    ///
+    /// `forwarded` carries, per miss (in submission order), the cell's distributed
+    /// origin and the pre-rendered probe lines its worker streamed back — empty for the
+    /// in-process executor. When a miss has forwarded lines they are replayed verbatim
+    /// into the sink (preserving the worker's own byte rendering); otherwise the
+    /// coordinator synthesizes the lifecycle pair itself.
     fn merge(
         &self,
         jobs: Vec<Job>,
         cached: Vec<Option<JobOutput>>,
         misses: Vec<Job>,
         outcomes: Vec<PoolOutcome<(JobOutput, Duration, Option<PhaseProfile>)>>,
+        forwarded: Vec<(Option<CellOrigin>, Vec<String>)>,
     ) -> Vec<CellResult> {
         if let Some(handle) = &self.store {
             let mut persisted = 0usize;
+            let persist_start = Instant::now();
             for (job, outcome) in misses.iter().zip(&outcomes) {
                 if let Ok(((output, _, _), _)) = outcome {
                     handle.persist(job, output);
                     persisted += 1;
                 }
             }
+            if persisted > 0 {
+                metrics()
+                    .store_persist_nanos
+                    .record(persist_start.elapsed().as_nanos() as u64);
+            }
             if let Some(sink) = &self.probe {
                 sink.emit(&Event::StorePersist { cells: persisted });
             }
         }
+        let (origins, forwarded_lines): (Vec<_>, Vec<_>) = forwarded.into_iter().unzip();
         let mut fresh = outcomes.into_iter();
+        let mut origins = origins.into_iter();
         let merge_span = athena_probe::span(Phase::Merge);
         let cells: Vec<CellResult> = jobs
             .into_iter()
             .zip(cached)
             .map(|(job, hit)| {
-                let (output, wall, cached, profile) = match hit {
-                    Some(output) => (Ok(output), Duration::ZERO, true, None),
-                    None => match fresh.next().expect("one simulated outcome per miss") {
-                        // The cell-scoped wall from the closure, not the pool's outer
-                        // timing (which includes worker queueing delay).
-                        Ok(((output, wall, profile), _)) => (Ok(output), wall, false, profile),
-                        Err(message) => (Err(message), Duration::ZERO, false, None),
-                    },
+                let (output, wall, cached, profile, origin) = match hit {
+                    Some(output) => (Ok(output), Duration::ZERO, true, None, None),
+                    None => {
+                        let origin = origins.next().unwrap_or(None);
+                        match fresh.next().expect("one simulated outcome per miss") {
+                            // The cell-scoped wall from the closure, not the pool's outer
+                            // timing (which includes worker queueing delay).
+                            Ok(((output, wall, profile), _)) => {
+                                (Ok(output), wall, false, profile, origin)
+                            }
+                            Err(message) => (Err(message), Duration::ZERO, false, None, origin),
+                        }
+                    }
                 };
                 CellResult {
                     experiment: job.experiment.clone(),
@@ -256,26 +289,44 @@ impl Engine {
                     cached,
                     output,
                     profile,
+                    origin,
                 }
             })
             .collect();
         drop(merge_span);
         if let Some(sink) = &self.probe {
+            let mut fwd = forwarded_lines
+                .into_iter()
+                .chain(std::iter::repeat_with(Vec::new));
             for cell in cells.iter().filter(|c| !c.cached) {
+                let lines = fwd.next().expect("repeat_with is infinite");
+                if !lines.is_empty() {
+                    // Replay the worker's own rendering byte-for-byte (only the
+                    // coordinator-local `t_ms` stamp is fresh), so a distributed log
+                    // never diverges from the worker's floats.
+                    for line in &lines {
+                        sink.emit_rendered(line);
+                    }
+                    continue;
+                }
                 sink.emit(&Event::CellStarted {
                     experiment: cell.experiment.clone(),
                     label: cell.label.clone(),
+                    origin: cell.origin,
                 });
                 match &cell.output {
                     Ok(_) => sink.emit(&Event::CellFinished {
                         experiment: cell.experiment.clone(),
                         label: cell.label.clone(),
                         wall_ms: cell.wall.as_secs_f64() * 1e3,
+                        profile: cell.profile,
+                        origin: cell.origin,
                     }),
                     Err(error) => sink.emit(&Event::CellPanicked {
                         experiment: cell.experiment.clone(),
                         label: cell.label.clone(),
                         error: error.clone(),
+                        origin: cell.origin,
                     }),
                 }
             }
@@ -308,8 +359,12 @@ pub struct CellResult {
     pub output: Result<JobOutput, String>,
     /// Per-phase hot-path profile of the cell's execution, when profiling
     /// ([`athena_probe::set_profiling`]) was on while it simulated. Always `None` for
-    /// cached cells — a stored result costs no simulation time.
+    /// cached cells — a stored result costs no simulation time. For distributed cells
+    /// this is the worker's own accrual, forwarded over the wire.
     pub profile: Option<PhaseProfile>,
+    /// The distributed worker (id + pid) that simulated the cell; `None` for in-process
+    /// and cached cells.
+    pub origin: Option<CellOrigin>,
 }
 
 impl CellResult {

@@ -62,7 +62,7 @@ pub mod seed;
 pub mod store;
 pub mod wire;
 
-pub use dist::{DistPool, WorkerCommand};
+pub use dist::{DistPool, RemoteCell, WorkerCommand};
 pub use exec::{CellResult, Engine};
 pub use job::{
     simulate, simulate_multicore, FileWorkload, Job, JobOutput, RunResult, SeedPolicy,
@@ -82,6 +82,8 @@ pub use athena_store::{
 
 // Re-exported so observability consumers (the CLIs, the tune crate) need only this crate.
 pub use athena_probe::{
-    profiling_enabled, set_profiling, swap_cell, take_cell, Event, Phase, PhaseProfile, PhaseStat,
-    ProbeSink, ALL_PHASES, EVENTS_SCHEMA_ID, WALL_CLOCK_FIELDS,
+    metrics, profiling_enabled, set_profiling, swap_cell, take_cell, CellOrigin, Counter, Event,
+    Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, Phase, PhaseProfile, PhaseStat,
+    ProbeSink, WorkerUtil, ALL_PHASES, EVENTS_SCHEMA_ID, TOPOLOGY_EVENT_KINDS, WALL_CLOCK_FIELDS,
+    WORKER_ATTRIBUTION_FIELDS,
 };

@@ -48,6 +48,9 @@ pub struct CellRecord {
     /// The cell's hot-path phase profile, when profiling was on while it simulated
     /// (`None` for cached and failed cells).
     pub profile: Option<athena_probe::PhaseProfile>,
+    /// The distributed worker that simulated the cell (`None` for in-process and
+    /// cached cells).
+    pub origin: Option<athena_probe::CellOrigin>,
 }
 
 impl CellRecord {
@@ -73,6 +76,10 @@ impl CellRecord {
         }
         if let Some(p) = &self.profile {
             pairs.push(("profile", crate::report::phase_profile_json(p)));
+        }
+        if let Some(origin) = self.origin {
+            pairs.push(("worker", Json::int(origin.worker)));
+            pairs.push(("pid", crate::report::u64_json(origin.pid)));
         }
         Json::obj(pairs)
     }
@@ -136,6 +143,7 @@ pub(crate) fn record_cells(cells: &[CellResult]) {
                     _ => None,
                 },
                 profile: c.profile,
+                origin: c.origin,
             }));
         }
     });

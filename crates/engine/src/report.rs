@@ -63,6 +63,12 @@ pub const DIST_SHARD_SCHEMA: Schema = Schema::new("dist-shard", 1);
 pub const DIST_RESULT_SCHEMA: Schema = Schema::new("dist-result", 1);
 /// Schema of a worker's end-of-shard frame.
 pub const DIST_DONE_SCHEMA: Schema = Schema::new("dist-done", 1);
+/// Schema of a worker→coordinator event-forwarding frame: the probe lines one cell
+/// emitted on the worker, shipped ahead of that cell's `RESULT` frame.
+pub const DIST_EVENT_SCHEMA: Schema = Schema::new("dist-event", 1);
+/// Schema of a metrics-registry snapshot ([`metrics_snapshot_json`]), embedded as the
+/// `metrics` object of run reports and readable standalone by `results metrics`.
+pub const METRICS_SCHEMA: Schema = Schema::new("metrics", 1);
 
 impl Schema {
     /// A schema constant.
@@ -115,6 +121,10 @@ pub fn figure_report(
             "cells",
             Json::arr(cells.iter().map(CellRecord::to_json).collect()),
         ),
+        (
+            "metrics",
+            metrics_snapshot_json(&athena_probe::metrics().snapshot()),
+        ),
     ])
 }
 
@@ -140,6 +150,99 @@ pub fn phase_profile_json(p: &athena_probe::PhaseProfile) -> Json {
             ),
         ),
         ("total_nanos", u64_json(p.total_nanos())),
+    ])
+}
+
+/// Parses a [`phase_profile_json`] document back into a profile — the deserialisation
+/// half the distributed coordinator uses when a worker's per-cell profile arrives inside
+/// a forwarded `cell_finished` event.
+pub fn phase_profile_from_json(doc: &Json) -> Result<athena_probe::PhaseProfile, String> {
+    let Some(Json::Obj(phases)) = doc.get("phases") else {
+        return Err("profile has no 'phases' object".to_string());
+    };
+    let mut profile = athena_probe::PhaseProfile::new();
+    for (name, stat) in phases {
+        let phase = athena_probe::Phase::from_name(name)
+            .ok_or_else(|| format!("unknown phase '{name}'"))?;
+        let calls = stat
+            .get("calls")
+            .and_then(u64_value)
+            .ok_or_else(|| format!("phase '{name}' has no 'calls'"))?;
+        let nanos = stat
+            .get("nanos")
+            .and_then(u64_value)
+            .ok_or_else(|| format!("phase '{name}' has no 'nanos'"))?;
+        profile.add(phase, calls, nanos);
+    }
+    Ok(profile)
+}
+
+/// Serialises a metrics-registry snapshot under [`METRICS_SCHEMA`]: counters and
+/// histograms in declaration order, workers ascending by id — deterministic in shape
+/// (the values are wall-clock-ish by nature, like `t_ms`).
+pub fn metrics_snapshot_json(snapshot: &athena_probe::MetricsSnapshot) -> Json {
+    METRICS_SCHEMA.document(vec![
+        (
+            "counters",
+            Json::obj(
+                snapshot
+                    .counters
+                    .iter()
+                    .map(|&(name, value)| (name, u64_json(value)))
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms",
+            Json::obj(
+                snapshot
+                    .histograms
+                    .iter()
+                    .map(|(name, h)| {
+                        (
+                            *name,
+                            Json::obj(vec![
+                                ("count", u64_json(h.count)),
+                                ("sum", u64_json(h.sum)),
+                                ("min", u64_json(h.min)),
+                                ("max", u64_json(h.max)),
+                                ("mean", Json::num(h.mean())),
+                                (
+                                    "buckets",
+                                    Json::arr(
+                                        h.buckets
+                                            .iter()
+                                            .map(|&(log2, n)| {
+                                                Json::obj(vec![
+                                                    ("log2", u64_json(log2 as u64)),
+                                                    ("count", u64_json(n)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "workers",
+            Json::arr(
+                snapshot
+                    .workers
+                    .iter()
+                    .map(|&(id, util)| {
+                        Json::obj(vec![
+                            ("worker", u64_json(id as u64)),
+                            ("cells", u64_json(util.cells)),
+                            ("busy_nanos", u64_json(util.busy_nanos)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -991,6 +1094,47 @@ mod tests {
     }
 
     #[test]
+    fn phase_profiles_round_trip_through_json() {
+        use athena_probe::{Phase, PhaseProfile};
+        let mut p = PhaseProfile::new();
+        p.record(Phase::Dram, 250);
+        p.record(Phase::CoreStep, 1_000);
+        let parsed =
+            phase_profile_from_json(&Json::parse(&phase_profile_json(&p).to_string()).unwrap())
+                .unwrap();
+        assert_eq!(
+            phase_profile_json(&parsed).to_string(),
+            phase_profile_json(&p).to_string()
+        );
+        assert!(phase_profile_from_json(&Json::parse("{}").unwrap()).is_err());
+        let bad =
+            Json::parse("{\"phases\":{\"no_such_phase\":{\"calls\":1,\"nanos\":2}}}").unwrap();
+        assert!(phase_profile_from_json(&bad)
+            .unwrap_err()
+            .contains("no_such_phase"));
+    }
+
+    #[test]
+    fn metrics_snapshots_serialise_deterministically() {
+        use athena_probe::MetricsRegistry;
+        let registry = MetricsRegistry::new();
+        registry.cells_simulated.add(3);
+        registry.cell_wall_nanos.record(1_000);
+        registry.cell_wall_nanos.record(3_000);
+        registry.record_worker_cell(1, 3_000);
+        registry.record_worker_cell(0, 1_000);
+        let text = metrics_snapshot_json(&registry.snapshot()).to_string();
+        assert!(text.contains(&format!("\"schema\":\"{}\"", METRICS_SCHEMA.id())));
+        assert!(text.contains("\"cells_simulated\":3"));
+        assert!(text
+            .contains("\"cell_wall_nanos\":{\"count\":2,\"sum\":4000,\"min\":1000,\"max\":3000"));
+        // Workers come out ascending by id regardless of recording order.
+        let w0 = text.find("\"worker\":0").expect("worker 0 present");
+        let w1 = text.find("\"worker\":1").expect("worker 1 present");
+        assert!(w0 < w1);
+    }
+
+    #[test]
     fn figure_report_embeds_table_and_cells() {
         let mut table = ExperimentTable::new("T", "policy", vec!["overall".into()]);
         table.push_row("athena", vec![1.1]);
@@ -1004,6 +1148,7 @@ mod tests {
             dram: None,
             timeline: None,
             profile: None,
+            origin: None,
         }];
         let text = figure_report("fig7", 2, Duration::from_millis(5), &table, &cells).to_string();
         assert!(text.contains("athena-figure-result-v1"));

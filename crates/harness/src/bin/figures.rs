@@ -22,15 +22,18 @@
 //! attaches the persistent result store: finished cells are cached and a warm re-run with
 //! the same options simulates nothing while producing byte-identical tables.
 //! `--workers N` distributes every batch across N spawned worker processes (this same
-//! binary in `--worker` mode) with tables still byte-identical to the in-process run.
+//! binary in `--worker` mode) with tables still byte-identical to the in-process run;
+//! `--events` and `--profile` compose with it — workers forward their cell events and
+//! phase profiles back over the wire, so the log and `BENCH_sim.json` cover the whole
+//! distributed run.
 
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use athena_engine::json::Json;
 use athena_engine::report::{
-    figure_report, phase_profile_json, timeline_report, BenchReport, ExperimentBench,
-    SIM_BENCH_SCHEMA,
+    figure_report, metrics_snapshot_json, phase_profile_json, timeline_report, BenchReport,
+    ExperimentBench, SIM_BENCH_SCHEMA,
 };
 use athena_engine::{
     available_parallelism, set_profiling, take_cell, with_recording, CellRecord, Event,
@@ -227,13 +230,6 @@ fn parse_args() -> Result<Args, String> {
         return Err(
             "--profile aggregates over figure sweeps; the timeline study has its own \
              output mode — drop one of them"
-                .to_string(),
-        );
-    }
-    if workers.is_some() && profile {
-        return Err(
-            "--profile needs in-process cells (a worker's phase profile does not cross \
-             the process boundary) — drop --workers"
                 .to_string(),
         );
     }
@@ -556,6 +552,10 @@ fn write_profile_report(args: &Args, mut cells: Vec<ProfiledCell>) {
         (
             "top_cells",
             Json::arr(top.iter().map(|c| c.to_json()).collect()),
+        ),
+        (
+            "metrics",
+            metrics_snapshot_json(&athena_engine::metrics().snapshot()),
         ),
     ]);
     let dir = args.out_dir.clone().unwrap_or_else(|| PathBuf::from("."));

@@ -21,7 +21,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use athena_engine::json::Json;
-use athena_engine::report::TUNE_BENCH_SCHEMA;
+use athena_engine::report::{metrics_snapshot_json, TUNE_BENCH_SCHEMA};
 use athena_engine::{available_parallelism, with_recording};
 use athena_harness::cli::{fail, fail_env, TUNE_HELP as HELP};
 use athena_harness::experiments::tuning_set;
@@ -328,7 +328,9 @@ fn print_summary(board: &Leaderboard, top: usize) {
 /// byte-identity check between the two leaderboards, and a `BENCH_tune.json` snapshot.
 fn run_bench_report(args: &Args, board: &Leaderboard, parallel_wall: std::time::Duration) {
     // The serial verification pass is not part of the observed run: it would interleave a
-    // second batch of events into the same log and double the profile counts.
+    // second batch of events into the same log and double the profile counts. The metrics
+    // snapshot is taken here, before that pass, for the same reason.
+    let metrics = metrics_snapshot_json(&athena_engine::metrics().snapshot());
     let mut serial_opts = args.tune_opts.clone().with_jobs(1);
     serial_opts.probe = None;
     serial_opts.progress = false;
@@ -375,6 +377,7 @@ fn run_bench_report(args: &Args, board: &Leaderboard, parallel_wall: std::time::
         ("parallel_ms", Json::num(parallel_wall.as_secs_f64() * 1e3)),
         ("speedup", Json::num(speedup)),
         ("identical_to_serial", Json::Bool(identical)),
+        ("metrics", metrics),
     ]);
     write_file(
         args.run.probe.as_ref(),

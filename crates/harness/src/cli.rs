@@ -49,8 +49,9 @@ run options:
                       frames, retries cells whose worker dies, and merges results in
                       submission order, so tables are byte-identical at any worker
                       count and under worker failure. The store, event log and merge
-                      stay on the coordinator. Incompatible with --profile and
-                      --bench-report
+                      stay on the coordinator; workers forward their cell events and
+                      phase profiles back over the wire, so --events and --profile
+                      compose with --workers. Incompatible with --bench-report
   --worker            internal: run as a worker process serving shards on stdin/stdout;
                       spawned by a `--workers` coordinator, never useful by hand
   --trace-dir <DIR>   replay recorded traces from DIR (written by `trace record`):
@@ -90,18 +91,25 @@ observability (neither flag changes a table byte — observation is not identity
   --events <FILE>     write a structured JSONL event log (schema athena-events-v1) of
                       every engine batch: batch opened, cells scheduled / store-hit /
                       started / finished / panicked, store fetch/persist, reports
-                      written. Wall-clock lives only in the dedicated t_ms/wall_ms
-                      fields; the remaining fields are byte-stable across --jobs
-                      values. Summarize a log with `results events`
+                      written; distributed runs add worker_joined / shard_dispatched /
+                      worker_died / cell_reassigned lines and attribute every cell
+                      event to the worker that ran it. Wall-clock lives only in the
+                      dedicated t_ms/wall_ms/pid/profile fields; the remaining fields
+                      are byte-stable across --jobs values. Summarize a log with
+                      `results events`, export it to Perfetto with `results trace`
   --progress          live `cells simulated / cached / ETA` line on stderr while
-                      batches run
+                      batches run; under --workers it breaks the count down per live
+                      worker and reports reassignments
   --profile           profile the simulator hot path: per-phase call counts and
                       self-time (cache lookup, prefetch issue, OCP predict,
                       coordinator update, DRAM, trace generation, engine overhead),
                       print the per-phase breakdown and slowest cells, and write the
                       BENCH_sim.json aggregate (schema athena-sim-bench-v1) plus
                       profile.folded (flamegraph collapsed-stack lines) into
-                      --out DIR or the working directory
+                      --out DIR or the working directory. Composes with --workers:
+                      each worker profiles its own cells and the profiles merge on
+                      the coordinator. JSON reports embed an engine metrics snapshot
+                      (schema athena-metrics-v1); inspect it with `results metrics`
 
 timeline mode:
   --timeline          standalone mode (no --fig/--all): run every selected workload under
@@ -244,6 +252,8 @@ results — inspect and maintain a persistent result store (written by
 
 usage: results <command> --store <DIR> [options]
        results events <FILE> [--json]
+       results trace <FILE> [--out <FILE>]
+       results metrics <FILE> [--json]
 
 commands:
   stats      print record counts and on-disk size (live, superseded, log bytes)
@@ -256,16 +266,29 @@ commands:
   verify     scan every record — headers, payload checksums, index agreement — and
              exit non-zero on any corruption
   events     summarize a JSONL event log written by `figures --events` or
-             `tune --events`: event counts by kind, store hit ratio, and the slowest
-             simulated cells. Takes the log FILE as its argument instead of --store
+             `tune --events`: event counts by kind, store hit ratio, the slowest
+             simulated cells, and — for distributed logs — per-worker cell counts,
+             worker deaths/reassignments and shard frame bytes. Takes the log FILE
+             as its argument instead of --store
+  trace      convert a JSONL event log into Chrome trace_event JSON (open it in
+             Perfetto / chrome://tracing): one process row per distributed worker
+             (plus the coordinator), cell spans with phase-profile child slices,
+             instants for store hits and worker deaths. Writes trace.json next to
+             the log unless --out says otherwise
+  metrics    print the engine metrics snapshot (schema athena-metrics-v1) embedded
+             in a JSON report (a <fig>.json from `figures --json`, BENCH_sim.json
+             or BENCH_tune.json): counters, latency histograms and per-worker
+             utilization
 
 options:
-  --store <DIR>        the store directory (required by every command except events;
-                       all commands except gc open it read-only, no writer lock)
+  --store <DIR>        the store directory (required by every command except
+                       events/trace/metrics; all commands except gc open it
+                       read-only, no writer lock)
   --against <DIR>      (diff only) the second store to compare against
   --experiment <NAME>  (query only) keep records of this experiment
   --workload <NAME>    (query only) keep records of this workload or mix
   --coordinator <NAME> (query only) keep records of this coordination policy
+  --out <FILE>         (trace only) output path for the trace_event JSON
   --json               machine-readable output instead of the human summary
 
 misc:
@@ -358,6 +381,12 @@ mod tests {
         assert!(FIGURES_HELP.contains("profile.folded"));
         assert!(RESULTS_HELP.contains("events"));
         assert!(RESULTS_HELP.contains("results events <FILE> [--json]"));
+        // The trace exporter and the metrics registry are part of the vocabulary too.
+        assert!(RESULTS_HELP.contains("results trace <FILE> [--out <FILE>]"));
+        assert!(RESULTS_HELP.contains("results metrics <FILE> [--json]"));
+        assert!(RESULTS_HELP.contains("Perfetto"));
+        assert!(RESULTS_HELP.contains("athena-metrics-v1"));
+        assert!(FIGURES_HELP.contains("athena-metrics-v1"));
     }
 
     #[test]
@@ -370,7 +399,10 @@ mod tests {
                 "missing claim"
             );
         }
-        assert!(FIGURES_HELP.contains("Incompatible with --profile"));
+        // Observability composes with distribution: events and profiles cross the wire.
+        assert!(FIGURES_HELP
+            .contains("--events and --profile\n                      compose with --workers"));
+        assert!(!FIGURES_HELP.contains("Incompatible with --profile"));
     }
 
     #[test]

@@ -10,7 +10,15 @@
 //! thread at deterministic merge points — never live from worker threads — so two logs
 //! of the same batch at different `--jobs` values are byte-identical once the fields in
 //! [`WALL_CLOCK_FIELDS`] are stripped (`tests/probe.rs` locks this in).
+//!
+//! Distributed workers run their cells under an in-memory sink ([`ProbeSink::buffered`])
+//! and forward the buffered lines to the coordinator over the wire; the coordinator
+//! replays them ([`ProbeSink::emit_rendered`]) into the real log at the same merge
+//! points, stamped with the originating worker's identity ([`CellOrigin`]). Stripping
+//! [`WORKER_ATTRIBUTION_FIELDS`] too — and dropping the [`TOPOLOGY_EVENT_KINDS`] lines —
+//! extends the byte-stability guarantee across worker counts, in-process included.
 
+use crate::profile::PhaseProfile;
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -24,10 +32,39 @@ use std::time::Instant;
 pub const EVENTS_SCHEMA_ID: &str = "athena-events-v1";
 
 /// The per-line fields that carry wall-clock readings (or equally host-dependent values,
-/// like a worker's OS pid) and nothing else. Stripping these from every line of two logs
-/// of the same batch must leave byte-identical documents, whatever the worker counts
-/// were.
-pub const WALL_CLOCK_FIELDS: &[&str] = &["t_ms", "wall_ms", "pid"];
+/// like a worker's OS pid or a phase profile's nanosecond totals) and nothing else.
+/// Stripping these from every line of two logs of the same batch must leave
+/// byte-identical documents, whatever the worker counts were.
+pub const WALL_CLOCK_FIELDS: &[&str] = &["t_ms", "wall_ms", "pid", "profile"];
+
+/// The per-line fields that attribute a cell event to the distributed worker that ran it.
+/// Which worker ran which cell is a scheduling accident (it depends on worker count and
+/// on recovery), so determinism comparisons across worker counts strip these alongside
+/// [`WALL_CLOCK_FIELDS`].
+pub const WORKER_ATTRIBUTION_FIELDS: &[&str] = &["worker", "from_worker", "to_worker"];
+
+/// Event kinds that describe the worker topology of a distributed run rather than the
+/// batch itself. Their *count* varies with worker count and fault recovery (a 4-worker
+/// run joins four workers, a 1-worker run one), so cross-worker-count comparisons drop
+/// these lines entirely instead of stripping fields.
+pub const TOPOLOGY_EVENT_KINDS: &[&str] = &[
+    "worker_joined",
+    "shard_dispatched",
+    "worker_died",
+    "cell_reassigned",
+];
+
+/// Identity of the distributed worker process that ran a cell: the coordinator-assigned
+/// worker id plus the worker's OS pid. Attached to cell lifecycle events when the cell
+/// ran remotely; `None` means the cell ran in-process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellOrigin {
+    /// Coordinator-assigned worker id (stable across the batch; respawned workers get
+    /// fresh ids).
+    pub worker: usize,
+    /// The worker's OS process id (host-dependent, stripped by determinism comparisons).
+    pub pid: u64,
+}
 
 /// One lifecycle event of an engine batch.
 ///
@@ -75,6 +112,8 @@ pub enum Event {
         experiment: String,
         /// The cell's label.
         label: String,
+        /// The distributed worker that ran the cell; `None` in-process.
+        origin: Option<CellOrigin>,
     },
     /// One simulated cell completed.
     CellFinished {
@@ -85,6 +124,11 @@ pub enum Event {
         /// Wall-clock spent simulating the cell, in milliseconds (a wall-clock field;
         /// stripped by determinism comparisons).
         wall_ms: f64,
+        /// The cell's phase profile when `--profile` is on (nanosecond wall-clock
+        /// readings; stripped by determinism comparisons like `wall_ms`).
+        profile: Option<PhaseProfile>,
+        /// The distributed worker that ran the cell; `None` in-process.
+        origin: Option<CellOrigin>,
     },
     /// One simulated cell panicked; the rest of the batch completed normally.
     CellPanicked {
@@ -94,6 +138,8 @@ pub enum Event {
         label: String,
         /// The caught panic message.
         error: String,
+        /// The distributed worker that ran the cell; `None` in-process.
+        origin: Option<CellOrigin>,
     },
     /// Newly simulated successes were persisted into the result store.
     StorePersist {
@@ -122,6 +168,8 @@ pub enum Event {
         worker: usize,
         /// Number of cells in the shard.
         cells: usize,
+        /// Payload size of the shard frame in bytes (header excluded).
+        bytes: usize,
     },
     /// A distributed worker died (EOF or truncated frame) with cells unanswered.
     WorkerDied {
@@ -194,27 +242,41 @@ impl Event {
                 str_field("label", label);
                 let _ = write!(line, ",\"seed\":\"{seed:#018x}\"");
             }
-            Event::CellStarted { experiment, label } => {
+            Event::CellStarted {
+                experiment,
+                label,
+                origin,
+            } => {
                 str_field("experiment", experiment);
                 str_field("label", label);
+                render_origin(line, *origin);
             }
             Event::CellFinished {
                 experiment,
                 label,
                 wall_ms,
+                profile,
+                origin,
             } => {
                 str_field("experiment", experiment);
                 str_field("label", label);
                 let _ = write!(line, ",\"wall_ms\":{wall_ms}");
+                if let Some(profile) = profile {
+                    line.push_str(",\"profile\":");
+                    render_profile(line, profile);
+                }
+                render_origin(line, *origin);
             }
             Event::CellPanicked {
                 experiment,
                 label,
                 error,
+                origin,
             } => {
                 str_field("experiment", experiment);
                 str_field("label", label);
                 str_field("error", error);
+                render_origin(line, *origin);
             }
             Event::StorePersist { cells } => {
                 let _ = write!(line, ",\"cells\":{cells}");
@@ -226,8 +288,15 @@ impl Event {
             Event::WorkerJoined { worker, pid } => {
                 let _ = write!(line, ",\"worker\":{worker},\"pid\":{pid}");
             }
-            Event::ShardDispatched { worker, cells } => {
-                let _ = write!(line, ",\"worker\":{worker},\"cells\":{cells}");
+            Event::ShardDispatched {
+                worker,
+                cells,
+                bytes,
+            } => {
+                let _ = write!(
+                    line,
+                    ",\"worker\":{worker},\"cells\":{cells},\"bytes\":{bytes}"
+                );
             }
             Event::WorkerDied {
                 worker,
@@ -254,6 +323,35 @@ impl Event {
     }
 }
 
+/// Renders the worker-attribution tail of a cell event: `,"worker":N,"pid":P`, or
+/// nothing for an in-process cell. `worker` is deterministic-but-scheduling-dependent
+/// ([`WORKER_ATTRIBUTION_FIELDS`]); `pid` is host state ([`WALL_CLOCK_FIELDS`]).
+fn render_origin(line: &mut String, origin: Option<CellOrigin>) {
+    if let Some(CellOrigin { worker, pid }) = origin {
+        let _ = write!(line, ",\"worker\":{worker},\"pid\":{pid}");
+    }
+}
+
+/// Renders a phase profile as `{"phases":{<name>:{"calls":C,"nanos":N},…},"total_nanos":T}`
+/// — non-empty phases in hierarchy order, the same shape the engine's report module uses
+/// for profiles embedded in JSON documents.
+fn render_profile(line: &mut String, profile: &PhaseProfile) {
+    line.push_str("{\"phases\":{");
+    for (i, stat) in profile.stats().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        let _ = write!(
+            line,
+            "\"{}\":{{\"calls\":{},\"nanos\":{}}}",
+            stat.phase.name(),
+            stat.calls,
+            stat.nanos
+        );
+    }
+    let _ = write!(line, "}},\"total_nanos\":{}}}", profile.total_nanos());
+}
+
 /// Escapes a string for embedding in a JSON string literal.
 fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -273,8 +371,15 @@ fn escape_json(s: &str) -> String {
     out
 }
 
+/// Where a sink's lines go: an open log file, or an in-memory buffer that a distributed
+/// worker drains into `EVENT` frames.
+enum SinkTarget {
+    File(BufWriter<File>),
+    Memory(Vec<u8>),
+}
+
 struct SinkInner {
-    writer: BufWriter<File>,
+    target: SinkTarget,
 }
 
 /// A shared, thread-safe JSONL event writer. Cloning shares the same open file and the
@@ -322,12 +427,46 @@ impl ProbeSink {
             path,
             epoch: Instant::now(),
             inner: Arc::new(Mutex::new(SinkInner {
-                writer: BufWriter::new(file),
+                target: SinkTarget::File(BufWriter::new(file)),
             })),
         })
     }
 
-    /// The log file this sink writes to.
+    /// Creates an in-memory sink. A distributed worker runs its cells under one of
+    /// these and drains the buffered lines with [`ProbeSink::take_lines`] to forward
+    /// them to the coordinator over the wire; nothing touches the filesystem.
+    pub fn buffered() -> Self {
+        Self {
+            path: PathBuf::from("<memory>"),
+            epoch: Instant::now(),
+            inner: Arc::new(Mutex::new(SinkInner {
+                target: SinkTarget::Memory(Vec::new()),
+            })),
+        }
+    }
+
+    /// Takes the complete lines buffered so far, leaving the sink empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a file-backed sink — a file sink's lines are already on disk and
+    /// cannot be recalled.
+    pub fn take_lines(&self) -> Vec<String> {
+        let mut inner = self.inner.lock().expect("probe sink mutex poisoned");
+        match &mut inner.target {
+            SinkTarget::File(_) => panic!("take_lines on a file-backed probe sink"),
+            SinkTarget::Memory(buffer) => {
+                let drained = std::mem::take(buffer);
+                String::from_utf8(drained)
+                    .expect("event lines are UTF-8")
+                    .lines()
+                    .map(str::to_owned)
+                    .collect()
+            }
+        }
+    }
+
+    /// The log file this sink writes to (`<memory>` for a buffered sink).
     pub fn path(&self) -> &Path {
         &self.path
     }
@@ -342,15 +481,33 @@ impl ProbeSink {
     pub fn emit(&self, event: &Event) {
         let mut line = String::with_capacity(160);
         event.render_deterministic(&mut line);
+        self.write_line(line);
+    }
+
+    /// Appends one pre-rendered line whose deterministic fields are already final —
+    /// `fragment` is everything between the opening `{` and the sink's trailing
+    /// `,"t_ms":…}`. The distributed coordinator uses this to replay a worker's
+    /// forwarded cell events byte-faithfully (same renderer, same float formatting)
+    /// while restamping `t_ms` against this sink's epoch.
+    pub fn emit_rendered(&self, fragment: &str) {
+        let mut line = String::with_capacity(fragment.len() + 32);
+        line.push('{');
+        line.push_str(fragment);
+        self.write_line(line);
+    }
+
+    fn write_line(&self, mut line: String) {
         let t_ms = self.epoch.elapsed().as_secs_f64() * 1e3;
         let _ = write!(line, ",\"t_ms\":{t_ms}}}");
         line.push('\n');
         let mut inner = self.inner.lock().expect("probe sink mutex poisoned");
-        inner
-            .writer
-            .write_all(line.as_bytes())
-            .and_then(|()| inner.writer.flush())
-            .unwrap_or_else(|e| panic!("event log {}: write failed: {e}", self.path.display()));
+        match &mut inner.target {
+            SinkTarget::File(writer) => writer
+                .write_all(line.as_bytes())
+                .and_then(|()| writer.flush())
+                .unwrap_or_else(|e| panic!("event log {}: write failed: {e}", self.path.display())),
+            SinkTarget::Memory(buffer) => buffer.extend_from_slice(line.as_bytes()),
+        }
     }
 }
 
@@ -374,6 +531,8 @@ mod tests {
             experiment: "fig7".into(),
             label: "w/athena/<cfg>".into(),
             wall_ms: 1.25,
+            profile: None,
+            origin: None,
         });
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
@@ -383,8 +542,51 @@ mod tests {
         )));
         assert!(lines[1].contains("\"kind\":\"cell_finished\""));
         assert!(lines[1].contains("\"wall_ms\":1.25"));
+        assert!(
+            !lines[1].contains("\"worker\""),
+            "no origin, no attribution"
+        );
         assert!(lines[1].ends_with('}'));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn origins_and_profiles_render_on_cell_events() {
+        use crate::profile::Phase;
+
+        let sink = ProbeSink::buffered();
+        let mut profile = PhaseProfile::new();
+        profile.record(Phase::Dispatch, 1_500);
+        profile.record(Phase::CoreStep, 500);
+        sink.emit(&Event::CellFinished {
+            experiment: "fig7".into(),
+            label: "w/athena/<cfg>".into(),
+            wall_ms: 2.0,
+            profile: Some(profile),
+            origin: Some(CellOrigin { worker: 3, pid: 42 }),
+        });
+        let lines = sink.take_lines();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains(
+            "\"profile\":{\"phases\":{\"core_step\":{\"calls\":1,\"nanos\":500},\
+             \"dispatch\":{\"calls\":1,\"nanos\":1500}},\"total_nanos\":2000}"
+        ));
+        assert!(lines[0].contains(",\"worker\":3,\"pid\":42,\"t_ms\":"));
+        // Drained means drained: the next take sees nothing.
+        assert!(sink.take_lines().is_empty());
+    }
+
+    #[test]
+    fn buffered_sinks_hold_whole_lines_in_memory() {
+        let sink = ProbeSink::buffered();
+        sink.emit(&Event::StorePersist { cells: 7 });
+        sink.emit_rendered("\"schema\":\"x\",\"kind\":\"cell_started\",\"worker\":0,\"pid\":9");
+        let lines = sink.take_lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"cells\":7"));
+        assert!(lines[1].starts_with("{\"schema\":\"x\""));
+        assert!(lines[1].contains("\"pid\":9,\"t_ms\":"));
+        assert_eq!(sink.path(), Path::new("<memory>"));
     }
 
     #[test]
@@ -395,6 +597,7 @@ mod tests {
             experiment: "t".into(),
             label: "a\"b\\c".into(),
             error: "line1\nline2\ttab".into(),
+            origin: None,
         });
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("a\\\"b\\\\c"));

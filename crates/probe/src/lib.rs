@@ -1,6 +1,6 @@
 //! # athena-probe
 //!
-//! Zero-cost-when-off observability for the Athena reproduction, in two halves:
+//! Zero-cost-when-off observability for the Athena reproduction, in three parts:
 //!
 //! * **Structured event stream** ([`event`]) — the experiment engine emits lifecycle
 //!   events (batch opened, cell scheduled / store-hit / started / finished / panicked,
@@ -15,6 +15,10 @@
 //!   *self*-time nanoseconds into a per-cell [`PhaseProfile`]; because every span
 //!   subtracts its children's time, the phases partition the cell's wall-clock and their
 //!   totals sum back to it.
+//! * **Metrics registry** ([`mod@metrics`]) — a fixed set of process-wide atomic counters,
+//!   log2-bucketed histograms and a per-worker utilization table, bumped by the engine
+//!   (cell wall-clock, store fetch/persist latency, wire frame bytes, retries) and
+//!   snapshotted in deterministic order into the CLIs' JSON reports.
 //!
 //! **Observation is not identity.** Nothing in this crate feeds back into a simulation:
 //! events and profiles are derived from results, never consulted by them, so enabling
@@ -33,9 +37,16 @@
 
 mod clock;
 pub mod event;
+pub mod metrics;
 pub mod profile;
 
-pub use event::{Event, ProbeSink, EVENTS_SCHEMA_ID, WALL_CLOCK_FIELDS};
+pub use event::{
+    CellOrigin, Event, ProbeSink, EVENTS_SCHEMA_ID, TOPOLOGY_EVENT_KINDS, WALL_CLOCK_FIELDS,
+    WORKER_ATTRIBUTION_FIELDS,
+};
+pub use metrics::{
+    metrics, Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, WorkerUtil,
+};
 pub use profile::{
     begin_cell, profiling_enabled, set_profiling, span, swap_cell, take_cell, Phase, PhaseProfile,
     PhaseStat, SpanGuard, ALL_PHASES, PHASE_COUNT,

@@ -155,6 +155,14 @@ impl PhaseProfile {
         self.nanos[phase as usize] = self.nanos[phase as usize].saturating_add(self_nanos);
     }
 
+    /// Adds raw totals for one phase (`calls` spans, `nanos` self-time). This is the
+    /// deserialisation counterpart of [`PhaseProfile::record`]: a profile that crossed a
+    /// process boundary as JSON is rebuilt phase by phase from its serialised totals.
+    pub fn add(&mut self, phase: Phase, calls: u64, nanos: u64) {
+        self.calls[phase as usize] = self.calls[phase as usize].saturating_add(calls);
+        self.nanos[phase as usize] = self.nanos[phase as usize].saturating_add(nanos);
+    }
+
     /// Adds another profile into this one (sweep-wide aggregation).
     pub fn merge(&mut self, other: &PhaseProfile) {
         for i in 0..PHASE_COUNT {

@@ -23,8 +23,8 @@
 //! * [`trace_io`] — on-disk trace formats (binary + text) and streaming replay.
 //! * [`telemetry`] — windowed time-series telemetry (per-interval IPC/MPKI/coverage
 //!   series, agent learning internals, learning curves).
-//! * [`probe`] — zero-cost-when-off observability: the structured JSONL event stream and
-//!   the hot-path phase profiler.
+//! * [`probe`] — zero-cost-when-off observability: the structured JSONL event stream,
+//!   the hot-path phase profiler and the process-wide metrics registry.
 //! * [`engine`] — the parallel experiment engine (jobs, deterministic seeding, worker
 //!   pool, JSON reports).
 //! * [`store`] — the persistent content-addressed result store (append-only record log,
